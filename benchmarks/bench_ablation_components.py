@@ -1,0 +1,33 @@
+"""Ablation — isolate CARE's two signals (beyond the paper's M-CARE study).
+
+* ``care_locality``    — PD/PMC path off (SHiP++-like signature locality),
+* ``care_concurrency`` — RC/reuse path off (cost-only decisions),
+* ``care``             — both signals (the full framework).
+
+Expectation (the paper's thesis): both signals together beat either alone.
+"""
+
+from repro.analysis import format_table
+from repro.harness import bench_spec_workloads, speedup_sweep
+
+from common import emit, once
+
+SCHEMES = ["lru", "care_locality", "care_concurrency", "mcare", "care"]
+
+
+def _collect():
+    return speedup_sweep(bench_spec_workloads(), SCHEMES, n_cores=4,
+                         prefetch=True, suite="spec")
+
+
+def test_ablation_components(benchmark):
+    table = once(benchmark, _collect)
+    rows = [[w] + [f"{table[w][p]:.3f}" for p in SCHEMES] for w in table]
+    emit("ablation_components", "\n".join([
+        "Ablation - CARE component contributions "
+        "(4-core multi-copy SPEC, prefetching)",
+        format_table(["workload"] + SCHEMES, rows),
+    ]))
+    gm = table["GEOMEAN"]
+    assert gm["care"] >= gm["care_locality"] - 0.02
+    assert gm["care"] >= gm["care_concurrency"] - 0.02

@@ -1,0 +1,31 @@
+"""Ablation — DTRM adaptive thresholds vs frozen thresholds (Section V-F).
+
+The paper motivates DTRM as the robustness mechanism that adapts the
+PMC quantization to each workload/phase.  We compare full CARE against
+``care_static`` (initial thresholds forever).
+"""
+
+from repro.analysis import format_table
+from repro.harness import bench_spec_workloads, speedup_sweep
+
+from common import emit, once
+
+SCHEMES = ["lru", "care_static", "care"]
+
+
+def _collect():
+    return speedup_sweep(bench_spec_workloads(), SCHEMES, n_cores=4,
+                         prefetch=True, suite="spec")
+
+
+def test_ablation_dtrm(benchmark):
+    table = once(benchmark, _collect)
+    rows = [[w] + [f"{table[w][p]:.3f}" for p in SCHEMES] for w in table]
+    emit("ablation_dtrm", "\n".join([
+        "Ablation - DTRM adaptive vs frozen thresholds "
+        "(4-core multi-copy SPEC, prefetching)",
+        format_table(["workload"] + SCHEMES, rows),
+    ]))
+    gm = table["GEOMEAN"]
+    # Adaptation should never cost much and usually helps.
+    assert gm["care"] >= gm["care_static"] - 0.03

@@ -1,0 +1,36 @@
+"""Fig. 3 — percentage of LLC misses with hit-miss overlapping.
+
+Paper setting: 4-core multi-copy workloads, LRU.  The paper reports 30-80%
+across benchmarks and concludes hit-miss overlap cannot be ignored; our
+synthetic traces keep denser LLC hit traffic, so the measured fractions sit
+higher, with the same conclusion.
+"""
+
+from repro.analysis import format_table
+from repro.harness import bench_spec_workloads, run_multicopy
+
+from common import emit, once
+
+
+def _collect():
+    rows = {}
+    for name in bench_spec_workloads():
+        res = run_multicopy(name, "lru", n_cores=4, prefetch=False)
+        rows[name] = res.hit_miss_overlap_fraction
+    return rows
+
+
+def test_fig03_hit_miss_overlap(benchmark):
+    rows = once(benchmark, _collect)
+    table = format_table(
+        ["workload", "misses w/ hit-miss overlap"],
+        [[name, f"{frac:.1%}"] for name, frac in rows.items()])
+    emit("fig03_hitmiss_overlap", "\n".join([
+        "Fig. 3 - fraction of LLC misses with hit-miss overlapping "
+        "(4-core multi-copy, LRU)",
+        table,
+        "paper: 30%-80% across benchmarks -> overlap cannot be ignored",
+    ]))
+    assert all(0.0 <= v <= 1.0 for v in rows.values())
+    # The motivating observation: a substantial share of misses overlap.
+    assert sum(rows.values()) / len(rows) > 0.3

@@ -1,0 +1,41 @@
+"""Fig. 5 — distribution of PMC over LLC misses (single-core, LRU).
+
+Eight 50-cycle bins (1: 0-49 ... 8: 350+).  The paper's observation: the
+distribution differs sharply across workloads, so misses are far from
+equally costly.
+"""
+
+from repro.analysis import format_table
+from repro.core.pmc import PMC_NUM_BINS
+from repro.harness import run_single
+from repro.workloads import FIG5_WORKLOADS
+
+from common import emit, once
+
+
+def _collect():
+    out = {}
+    for name in FIG5_WORKLOADS:
+        res = run_single(name, "lru", prefetch=False)
+        hist = res.conc_total.pmc_histogram
+        total = max(1, sum(hist))
+        out[name] = [h / total for h in hist]
+    return out
+
+
+def test_fig05_pmc_distribution(benchmark):
+    dists = once(benchmark, _collect)
+    headers = ["workload"] + [f"bin{i+1}" for i in range(PMC_NUM_BINS)]
+    rows = [[name] + [f"{v:.2f}" for v in dist]
+            for name, dist in dists.items()]
+    emit("fig05_pmc_distribution", "\n".join([
+        "Fig. 5 - PMC distribution per workload "
+        "(bins of 50 cycles; bin1=0-49 ... bin8=350+); 1-core, LRU",
+        format_table(headers, rows),
+    ]))
+    for name, dist in dists.items():
+        assert abs(sum(dist) - 1.0) < 1e-6, name
+    # Shape check: distributions differ across workloads (first-bin share
+    # spans a wide range).
+    first_bin = [d[0] for d in dists.values()]
+    assert max(first_bin) - min(first_bin) > 0.2

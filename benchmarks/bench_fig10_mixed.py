@@ -1,0 +1,55 @@
+"""Fig. 10 — normalized weighted IPC over mixed 4-core workloads.
+
+Paper: 100 mixes; CARE +12.8% GM over LRU (SHiP++ +11.9%, Hawkeye +6.8%,
+Glider +6.4%, M-CARE +11.4%), with CARE best on 67/100 mixes.  We run
+``REPRO_BENCH_MIXES`` seeded mixes (same mixes for every scheme) and report
+GM normalized weighted IPC plus CARE's win count.
+"""
+
+from repro.analysis import format_table, geometric_mean, normalized_weighted_ipc
+from repro.harness import PREFETCH_SCHEMES, run_mix, run_single
+from repro.harness.experiment import BENCH_MIXES
+from repro.workloads import mixed_workload_names
+
+from common import emit, once
+
+PAPER_GM = {"lru": 1.0, "shippp": 1.119, "hawkeye": 1.068,
+            "glider": 1.064, "mcare": 1.114, "care": 1.128}
+
+
+def _collect():
+    table = {}
+    for mix_id in range(BENCH_MIXES):
+        names = mixed_workload_names(4, mix_id)
+        # IPC_alone per slot: single-core LRU run of that benchmark.
+        alone = [run_single(n, "lru", prefetch=True).ipc[0] for n in names]
+        base = run_mix(mix_id, "lru")
+        row = {}
+        for policy in PREFETCH_SCHEMES:
+            res = base if policy == "lru" else run_mix(mix_id, policy)
+            row[policy] = normalized_weighted_ipc(res, base, alone)
+        table[f"mix{mix_id:03d}"] = row
+    return table
+
+
+def test_fig10_mixed_workloads(benchmark):
+    table = once(benchmark, _collect)
+    gm = {p: geometric_mean([row[p] for row in table.values()])
+          for p in PREFETCH_SCHEMES}
+    wins = sum(
+        1 for row in table.values()
+        if row["care"] >= max(row[p] for p in PREFETCH_SCHEMES) - 1e-12)
+    rows = [[mix] + [f"{row[p]:.3f}" for p in PREFETCH_SCHEMES]
+            for mix, row in table.items()]
+    rows.append(["GEOMEAN"] + [f"{gm[p]:.3f}" for p in PREFETCH_SCHEMES])
+    rows.append(["paper GM"] + [f"{PAPER_GM[p]:.3f}"
+                                for p in PREFETCH_SCHEMES])
+    emit("fig10_mixed", "\n".join([
+        "Fig. 10 - normalized weighted IPC, 4-core mixed workloads, "
+        "with prefetching",
+        format_table(["mix"] + PREFETCH_SCHEMES, rows),
+        f"CARE best (or tied) on {wins}/{len(table)} mixes "
+        "(paper: 67/100)",
+    ]))
+    assert gm["care"] > 1.0
+    assert gm["care"] >= gm["hawkeye"] - 0.02

@@ -1,0 +1,45 @@
+"""Fig. 12 — GAP speedup scaling with core count (with prefetching).
+
+Paper (16-core): CARE +16.1% over LRU; beats SHiP++/Hawkeye/Glider/
+Mockingjay/M-CARE by 7.8/12.7/11.6/11.4/7.3%.  Shape checks as Fig. 11.
+"""
+
+from repro.analysis import format_table
+from repro.harness import PREFETCH_SCHEMES, bench_gap_workloads, scaling_sweep
+from repro.harness.experiment import BENCH_RECORDS
+
+from common import emit, once
+
+PAPER_CARE = {4: 1.087, 8: 1.12, 16: 1.161}
+
+# Per-core trace length per tier.  Shrinking traces with core count
+# starves the shared predictors (the SHT trains from every core's traffic,
+# so high core counts train faster); the 4-core tier gets 2x records to
+# keep total training events comparable across tiers.
+CORE_RECORDS = {4: 2 * BENCH_RECORDS, 8: BENCH_RECORDS, 16: BENCH_RECORDS}
+
+
+def _collect():
+    workloads = bench_gap_workloads(3)
+    out = {}
+    for cores, records in CORE_RECORDS.items():
+        out[cores] = scaling_sweep(workloads, PREFETCH_SCHEMES,
+                                   core_counts=(cores,), prefetch=True,
+                                   suite="gap", n_records=records)[cores]
+    return out
+
+
+def test_fig12_scaling_gap(benchmark):
+    table = once(benchmark, _collect)
+    rows = [[f"{cores} cores"]
+            + [f"{table[cores][p]:.3f}" for p in PREFETCH_SCHEMES]
+            + [f"{PAPER_CARE[cores]:.3f}"]
+            for cores in sorted(table)]
+    emit("fig12_scaling_gap", "\n".join([
+        "Fig. 12 - GM speedup over LRU vs core count "
+        "(multi-copy GAP, with prefetching)",
+        format_table(["config"] + PREFETCH_SCHEMES + ["paper CARE"], rows),
+    ]))
+    for cores in table:
+        assert table[cores]["care"] > 0.98   # never meaningfully below LRU
+    assert table[16]["care"] > 1.0

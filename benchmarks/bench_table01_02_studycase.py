@@ -1,0 +1,40 @@
+"""Tables I & II — the Fig. 2 study case: MLP-based cost vs PMC.
+
+Expected (exact): MLP cost A=5, C=D=E=7/3; PMC A=0, C=1, D=E=2;
+active pure miss cycles = 5 (cycles 10-14).
+"""
+
+from repro.analysis import (
+    EXPECTED_MLP,
+    EXPECTED_PMC,
+    EXPECTED_PURE_CYCLES,
+    format_table,
+    paper_study_case,
+)
+
+from common import emit, once
+
+
+def test_table01_02_study_case(benchmark):
+    result = once(benchmark, paper_study_case)
+    rows = []
+    for label in sorted(result.mlp_cost):
+        rows.append([
+            label,
+            str(result.pmc[label]),
+            str(EXPECTED_PMC[label]),
+            str(result.mlp_cost[label]),
+            str(EXPECTED_MLP[label]),
+        ])
+    text = "\n".join([
+        "Tables I & II - study case (Fig. 2): per-miss cost analysis",
+        format_table(
+            ["miss", "PMC", "PMC(paper)", "MLP-cost", "MLP-cost(paper)"],
+            rows),
+        f"active pure miss cycles: {result.pure_miss_cycles} "
+        f"(paper: {EXPECTED_PURE_CYCLES})",
+    ])
+    emit("table01_02_studycase", text)
+    assert result.pmc == EXPECTED_PMC
+    assert result.mlp_cost == EXPECTED_MLP
+    assert result.pure_miss_cycles == EXPECTED_PURE_CYCLES

@@ -1,0 +1,50 @@
+"""Tables V & VI — hardware cost of CARE and every compared framework."""
+
+from repro.analysis import (
+    PAPER_TABLE6_KB,
+    care_concurrency_kb,
+    care_cost,
+    format_table,
+    framework_costs,
+)
+
+from common import emit, once
+
+
+def test_table05_care_breakdown(benchmark):
+    report = once(benchmark, care_cost)
+    rows = [[item.name, f"{item.kb:.4f}", item.used_for]
+            for item in report.items]
+    rows.append(["TOTAL", f"{report.total_kb:.2f}", ""])
+    rows.append(["concurrency-aware share",
+                 f"{care_concurrency_kb(report):.2f}", ""])
+    text = "\n".join([
+        "Table V - CARE hardware cost (16-way 2MB LLC)",
+        format_table(["structure", "KB", "used for"], rows),
+        "paper: 26.64KB total, 6.76KB for concurrency awareness",
+    ])
+    emit("table05_care_cost", text)
+    assert abs(report.total_kb - 26.64) < 0.05
+    assert abs(care_concurrency_kb(report) - 6.76) < 0.05
+
+
+def test_table06_framework_comparison(benchmark):
+    reports = once(benchmark, framework_costs)
+    rows = []
+    for rep in reports:
+        rows.append([
+            rep.framework,
+            "Yes" if rep.uses_pc else "No",
+            "Yes" if rep.concurrency_aware else "No",
+            f"{rep.total_kb:.2f}",
+            f"{PAPER_TABLE6_KB[rep.framework]:.2f}",
+        ])
+    text = "\n".join([
+        "Table VI - hardware costs for different replacement frameworks",
+        format_table(["framework", "uses PC", "concurrency", "KB (ours)",
+                      "KB (paper)"], rows),
+    ])
+    emit("table06_framework_costs", text)
+    for rep in reports:
+        assert abs(rep.total_kb - PAPER_TABLE6_KB[rep.framework]) \
+            <= 0.10 * PAPER_TABLE6_KB[rep.framework]

@@ -1,0 +1,28 @@
+"""Table IX — the GAP graph datasets (scaled synthetic stand-ins)."""
+
+from repro.analysis import format_table
+from repro.workloads import GRAPH_SPECS, build_graph, graph_keys
+
+from common import emit, once
+
+
+def test_table09_graph_datasets(benchmark):
+    graphs = once(benchmark, lambda: {k: build_graph(k) for k in graph_keys()})
+    rows = []
+    for key in graph_keys():
+        spec = GRAPH_SPECS[key]
+        g = graphs[key]
+        rows.append([
+            f"{spec.full_name} ({key})",
+            spec.paper_vertices, spec.paper_edges,
+            g.n_vertices, g.n_edges, f"{g.avg_degree:.1f}",
+            spec.description,
+        ])
+    text = "\n".join([
+        "Table IX - graph datasets (paper scale vs built scale)",
+        format_table(["dataset", "V(paper)", "E(paper)", "V(built)",
+                      "E(built)", "deg(built)", "description"], rows),
+    ])
+    emit("table09_graphs", text)
+    sizes = [graphs[k].n_vertices for k in ("or", "tw", "ur")]
+    assert sizes == sorted(sizes)          # urand > twitter > orkut

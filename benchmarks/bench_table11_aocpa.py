@@ -1,0 +1,54 @@
+"""Table XI — Average Overlapping Cycles Per Access vs core count.
+
+Paper: AOCPA grows significantly with core count on both suites (more
+miss-miss and hit-miss overlap as the shared LLC gets busier), which is the
+headroom CARE exploits.
+"""
+
+from repro.analysis import format_table
+from repro.harness import bench_gap_workloads, bench_spec_workloads, run_multicopy
+from repro.harness.experiment import BENCH_RECORDS, BENCH_WORKLOADS
+
+from common import emit, once
+
+# Per-core trace length per tier.  Shrinking traces with core count
+# starves the shared predictors (the SHT trains from every core's traffic,
+# so high core counts train faster); the 4-core tier gets 2x records to
+# keep total training events comparable across tiers.
+CORE_RECORDS = {4: 2 * BENCH_RECORDS, 8: BENCH_RECORDS, 16: BENCH_RECORDS}
+
+
+def _mean_aocpa(workloads, suite, cores, records):
+    vals = []
+    for name in workloads:
+        res = run_multicopy(name, "lru", n_cores=cores, prefetch=True,
+                            suite=suite, n_records=records)
+        vals.append(res.aocpa)
+    return sum(vals) / len(vals)
+
+
+def _collect():
+    spec = bench_spec_workloads(max(3, BENCH_WORKLOADS // 3))
+    gap = bench_gap_workloads(3)
+    out = {"SPEC": {}, "GAP": {}}
+    for cores, records in CORE_RECORDS.items():
+        out["SPEC"][cores] = _mean_aocpa(spec, "spec", cores, records)
+        out["GAP"][cores] = _mean_aocpa(gap, "gap", cores, records)
+    return out
+
+
+def test_table11_aocpa(benchmark):
+    table = once(benchmark, _collect)
+    rows = [[suite] + [f"{table[suite][c]:.2f}" for c in sorted(CORE_RECORDS)]
+            for suite in ("SPEC", "GAP")]
+    emit("table11_aocpa", "\n".join([
+        "Table XI - AOCPA (cycles) vs core count, with prefetching, LRU",
+        format_table(["suite"] + [f"{c} cores" for c in sorted(CORE_RECORDS)],
+                     rows),
+        "paper: AOCPA increases significantly with core count",
+    ]))
+    # SPEC overlap grows monotonically with cores; GAP peaks by 8 cores at
+    # this scale (the 16-core tier is bandwidth-bound, lengthening isolated
+    # stalls) - assert growth from the 4-core tier for both.
+    assert table["SPEC"][16] > table["SPEC"][4]
+    assert max(table["GAP"][8], table["GAP"][16]) > table["GAP"][4]

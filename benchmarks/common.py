@@ -1,0 +1,32 @@
+"""Shared helpers for the per-figure benchmark modules.
+
+Each benchmark regenerates one paper table/figure as text: it prints the
+rows (visible with ``pytest -s`` / in benchmark output) and also writes them
+to ``benchmarks/results/<name>.txt`` so a full run leaves a reviewable
+artifact trail.  Scale knobs are documented in
+:mod:`repro.harness.experiment` (``REPRO_BENCH_*`` environment variables).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure's text and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The simulations are far too expensive for pytest-benchmark's default
+    auto-calibration; one timed round is the measurement.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,21 @@
+"""Make the shared helpers importable and report the bench scale in use."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.harness.experiment import (  # noqa: E402
+    BENCH_MIXES,
+    BENCH_RECORDS,
+    BENCH_WORKLOADS,
+)
+
+
+def pytest_report_header(config):
+    return (
+        f"repro bench scale: records/core={BENCH_RECORDS} "
+        f"workloads={BENCH_WORKLOADS} mixes={BENCH_MIXES} "
+        "(override with REPRO_BENCH_RECORDS / REPRO_BENCH_WORKLOADS / "
+        "REPRO_BENCH_MIXES)"
+    )

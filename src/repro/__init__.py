@@ -1,0 +1,20 @@
+"""repro — reproduction of CARE (HPCA 2023).
+
+Public API highlights:
+
+* :func:`repro.sim.simulate` / :class:`repro.sim.System` — run a workload on
+  the simulated machine with any LLC policy.
+* :class:`repro.sim.SystemConfig` — Table VII machine presets.
+* :mod:`repro.workloads` — SPEC-like / GAP workload trace generators.
+* :mod:`repro.policies` — every compared replacement scheme, by name via
+  ``repro.policies.registry.make_policy``.
+* :mod:`repro.core` — PMC measurement (PML) and the CARE/M-CARE policies.
+* :mod:`repro.analysis` — metrics, the Fig. 2 study case, hardware costs.
+* :mod:`repro.harness` — experiment drivers used by benchmarks/examples.
+"""
+
+from .sim import SimResult, System, SystemConfig, simulate
+
+__version__ = "1.0.0"
+
+__all__ = ["SimResult", "System", "SystemConfig", "simulate", "__version__"]

@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``policies``   list every registered replacement scheme
+``workloads``  list SPEC-like and GAP workloads (with Table VIII MPKI)
+``studycase``  print the Fig. 2 study case analysis (Tables I & II)
+``hwcost``     print the Table V / VI hardware-cost accounting
+``run``        simulate one workload under one or more LLC policies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+
+def _cmd_policies(_args) -> int:
+    from .policies.registry import available_policies, make_policy
+    for name in available_policies():
+        pol = make_policy(name, sets=64, ways=4)
+        doc = (type(pol).__doc__ or "").strip().splitlines()
+        print(f"{name:18s} {doc[0] if doc else ''}")
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    from .workloads import SPEC_BENCHMARKS, gap_workload_names
+    print("SPEC-like workloads (Table VIII):")
+    for name, bench in SPEC_BENCHMARKS.items():
+        print(f"  {name:18s} {bench.suite}  paper MPKI {bench.paper_mpki:6.2f}"
+              f"  ({bench.pattern_class})")
+    print("\nGAP workloads (Table IX graphs x 5 kernels):")
+    print("  " + "  ".join(gap_workload_names()))
+    return 0
+
+
+def _cmd_studycase(_args) -> int:
+    from .analysis import format_table, paper_study_case
+    result = paper_study_case()
+    rows = [[label, str(result.pmc[label]), str(result.mlp_cost[label])]
+            for label in sorted(result.mlp_cost)]
+    print("Fig. 2 study case (Tables I & II):")
+    print(format_table(["miss", "PMC", "MLP-based cost"], rows))
+    print(f"active pure miss cycles: {result.pure_miss_cycles}")
+    return 0
+
+
+def _cmd_hwcost(_args) -> int:
+    from .analysis import (care_concurrency_kb, care_cost, format_table,
+                           framework_costs)
+    report = care_cost()
+    print("Table V - CARE cost breakdown (16-way 2MB LLC):")
+    print(format_table(
+        ["structure", "KB", "used for"],
+        [[i.name, f"{i.kb:.4f}", i.used_for] for i in report.items]))
+    print(f"total {report.total_kb:.2f}KB "
+          f"({care_concurrency_kb(report):.2f}KB for concurrency awareness)")
+    print("\nTable VI - framework comparison:")
+    print(format_table(
+        ["framework", "uses PC", "concurrency-aware", "KB"],
+        [[r.framework, "Yes" if r.uses_pc else "No",
+          "Yes" if r.concurrency_aware else "No", f"{r.total_kb:.2f}"]
+         for r in framework_costs()]))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .analysis import format_table
+    from .sim import SystemConfig, simulate
+    from .workloads import gap_workload_names, multicopy_traces
+
+    if args.workload in gap_workload_names():
+        suite = "gap"
+    else:
+        suite = "spec"
+    traces = multicopy_traces(args.workload, args.cores, args.records,
+                              seed=args.seed, suite=suite)
+    cfg = SystemConfig.default(args.cores)
+    rows = []
+    base = None
+    for policy in args.policies:
+        res = simulate([t.records for t in traces], cfg=cfg,
+                       llc_policy=policy, prefetch=args.prefetch,
+                       measure_records=args.records // 2,
+                       warmup_records=args.records // 2, seed=args.seed)
+        total = sum(res.ipc)
+        if base is None:
+            base = total
+        rows.append([policy, f"{total:.3f}", f"{total / base:.3f}",
+                     f"{res.mpki():.2f}", f"{res.pmr:.3f}",
+                     f"{res.mean_pmc:.1f}", f"{res.aocpa:.1f}"])
+    print(f"{args.workload} x {args.cores} cores, "
+          f"prefetch={'on' if args.prefetch else 'off'}, "
+          f"{args.records} records/core")
+    print(format_table(
+        ["policy", "sum IPC", "vs first", "MPKI", "pMR", "mean PMC",
+         "AOCPA"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CARE (HPCA 2023) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("policies", help="list replacement schemes")
+    sub.add_parser("workloads", help="list workloads")
+    sub.add_parser("studycase", help="Fig. 2 / Tables I & II analysis")
+    sub.add_parser("hwcost", help="Tables V & VI hardware costs")
+
+    run = sub.add_parser("run", help="simulate a workload")
+    run.add_argument("workload", help="e.g. 429.mcf or bfs-or")
+    run.add_argument("--policies", nargs="+",
+                     default=["lru", "shippp", "care"])
+    run.add_argument("--cores", type=int, default=1)
+    run.add_argument("--records", type=int, default=8000)
+    run.add_argument("--seed", type=int, default=3)
+    run.add_argument("--prefetch", action="store_true")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "policies": _cmd_policies,
+        "workloads": _cmd_workloads,
+        "studycase": _cmd_studycase,
+        "hwcost": _cmd_hwcost,
+        "run": _cmd_run,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

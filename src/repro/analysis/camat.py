@@ -1,0 +1,55 @@
+"""C-AMAT: the Concurrent Average Memory Access Time model (Section II-B).
+
+PMC is derived from C-AMAT (Sun & Wang), so we expose the model's
+quantities computed from the PML's measurements:
+
+* ``C-AMAT = memory active cycles / total accesses`` — the concurrency-aware
+  analogue of AMAT; overlapped cycles are counted once, not per access.
+* Decomposition ``C-AMAT = CH + pMR * pAMP`` where ``CH`` is the hit
+  (base-cycle) contribution, ``pMR`` the pure miss rate and ``pAMP`` the
+  average pure-miss penalty per pure miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.pmc import CoreConcurrencyStats
+
+
+@dataclass(frozen=True)
+class CAMATBreakdown:
+    """C-AMAT and its pure-miss decomposition for one core at one level."""
+
+    camat: float
+    pure_miss_rate: float      # pMR
+    pamp: float                # avg pure-miss cycles per pure miss
+    active_cycles: float
+    pure_miss_cycles: float
+    accesses: int
+
+    @property
+    def pure_miss_term(self) -> float:
+        """The ``pMR * pAMP`` half of the decomposition."""
+        return self.pure_miss_rate * self.pamp
+
+    @property
+    def hit_term(self) -> float:
+        """The concurrent-hit half (everything not pure-miss stall)."""
+        return self.camat - self.pure_miss_term
+
+
+def camat_breakdown(stats: CoreConcurrencyStats) -> CAMATBreakdown:
+    """Compute the C-AMAT quantities from PML measurements."""
+    accesses = stats.accesses
+    camat = stats.active_cycles / accesses if accesses else 0.0
+    pamp = (stats.pure_miss_cycles / stats.pure_misses
+            if stats.pure_misses else 0.0)
+    return CAMATBreakdown(
+        camat=camat,
+        pure_miss_rate=stats.pure_miss_rate,
+        pamp=pamp,
+        active_cycles=stats.active_cycles,
+        pure_miss_cycles=stats.pure_miss_cycles,
+        accesses=accesses,
+    )

@@ -1,0 +1,83 @@
+"""Text line charts for scaling curves (Figs. 11-14 as terminal output).
+
+The benchmark harness reports tables; for quick visual inspection of the
+scaling trend, :func:`line_chart` renders multiple named series over a
+shared x-axis as a fixed-grid ASCII plot — dependency-free and stable
+enough to assert on in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: glyphs assigned to series in insertion order
+_GLYPHS = "ox*+#@%&"
+
+
+def line_chart(x_values: Sequence[float],
+               series: Dict[str, Sequence[float]],
+               height: int = 12, width: int = 48,
+               y_label: str = "", x_label: str = "") -> str:
+    """Render ``series`` (name -> y values over ``x_values``) as text.
+
+    Points are plotted on a ``height`` x ``width`` grid with linear
+    scaling; later series overwrite earlier ones on collisions.  A legend
+    maps glyphs to names.
+    """
+    if not x_values:
+        raise ValueError("no x values")
+    if not series:
+        raise ValueError("no series")
+    if len(series) > len(_GLYPHS):
+        raise ValueError(f"at most {len(_GLYPHS)} series supported")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return min(width - 1, int((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    def row(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return min(height - 1, int((1.0 - frac) * (height - 1)))
+
+    legend = []
+    for glyph, (name, ys) in zip(_GLYPHS, series.items()):
+        legend.append(f"{glyph}={name}")
+        for x, y in zip(x_values, ys):
+            grid[row(y)][col(x)] = glyph
+
+    lines: List[str] = []
+    if y_label:
+        lines.append(y_label)
+    lines.append(f"{y_max:8.3f} ┤" + "".join(grid[0]))
+    for r in range(1, height - 1):
+        lines.append(" " * 8 + " │" + "".join(grid[r]))
+    lines.append(f"{y_min:8.3f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 9 + "└" + "─" * width)
+    ticks = " " * 10 + f"{x_min:<8g}" + " " * max(0, width - 16) + f"{x_max:>8g}"
+    lines.append(ticks)
+    if x_label:
+        lines.append(" " * 10 + x_label)
+    lines.append(" " * 10 + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def scaling_chart(per_core_tables: Dict[int, Dict[str, float]],
+                  height: int = 12, width: int = 40) -> str:
+    """Chart a Figs. 11-14 style result: {cores: {policy: speedup}}."""
+    cores = sorted(per_core_tables)
+    policies = list(per_core_tables[cores[0]])
+    series = {p: [per_core_tables[c][p] for c in cores] for p in policies}
+    return line_chart(cores, series, height=height, width=width,
+                      y_label="speedup over LRU", x_label="cores")

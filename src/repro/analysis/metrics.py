@@ -1,0 +1,84 @@
+"""Performance metrics used throughout the evaluation (Section VI).
+
+* **Normalized IPC** — multi-copy workloads report the sum of per-core IPC
+  under a scheme divided by the same under LRU (Figs. 7, 9, 11-14).
+* **Weighted speedup** — for mixed workloads, ``Σ IPC_shared / IPC_alone``,
+  normalized to LRU (Fig. 10); the standard shared-cache metric the paper
+  cites from CRC-2.
+* **Geometric mean** — how the paper aggregates per-workload speedups.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from ..sim.stats import SimResult
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError(f"geometric mean requires positive values: {vals}")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def total_ipc(result: SimResult) -> float:
+    """Sum of per-core IPC (the multi-copy throughput measure)."""
+    return sum(result.ipc)
+
+
+def normalized_ipc(result: SimResult, baseline: SimResult) -> float:
+    """Throughput normalized to the LRU baseline run (Figs. 7/9/11-14)."""
+    base = total_ipc(baseline)
+    if base <= 0:
+        raise ValueError("baseline IPC is zero")
+    return total_ipc(result) / base
+
+
+def weighted_speedup(result: SimResult,
+                     alone_ipc: Sequence[float]) -> float:
+    """Σ IPC_shared,i / IPC_alone,i over cores (shared-cache fairness metric)."""
+    if len(alone_ipc) != len(result.ipc):
+        raise ValueError("alone-IPC vector length mismatch")
+    total = 0.0
+    for shared, alone in zip(result.ipc, alone_ipc):
+        if alone <= 0:
+            raise ValueError("alone IPC must be positive")
+        total += shared / alone
+    return total
+
+
+def normalized_weighted_ipc(result: SimResult, baseline: SimResult,
+                            alone_ipc: Sequence[float]) -> float:
+    """Fig. 10's y-axis: weighted speedup relative to LRU's."""
+    return (weighted_speedup(result, alone_ipc)
+            / weighted_speedup(baseline, alone_ipc))
+
+
+def speedup_summary(results: Dict[str, Dict[str, SimResult]],
+                    baseline: str = "lru") -> Dict[str, Dict[str, float]]:
+    """Normalized IPC per (workload, policy) plus a GM row.
+
+    ``results[workload][policy]`` -> SimResult.  Returns
+    ``table[workload][policy]`` -> normalized IPC, with an extra
+    ``table["GEOMEAN"]`` row aggregating each policy.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    per_policy: Dict[str, List[float]] = {}
+    for workload, by_policy in results.items():
+        if baseline not in by_policy:
+            raise KeyError(f"{workload}: no {baseline!r} baseline run")
+        base = by_policy[baseline]
+        row = {}
+        for policy, res in by_policy.items():
+            value = normalized_ipc(res, base)
+            row[policy] = value
+            per_policy.setdefault(policy, []).append(value)
+        table[workload] = row
+    table["GEOMEAN"] = {
+        policy: geometric_mean(vals) for policy, vals in per_policy.items()
+    }
+    return table

@@ -1,0 +1,56 @@
+"""Plain-text table / bar rendering for benchmark output.
+
+The benchmark harness regenerates each paper figure as an ASCII table (and
+optionally a unicode bar strip), since the deliverable is the numbers and
+their shape, not a bitmap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 float_fmt: str = "{:.3f}") -> str:
+    """Render rows as an aligned monospace table."""
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, v in enumerate(row):
+            widths[i] = max(widths[i], len(v))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bars(values: Dict[str, float], width: int = 40,
+                baseline: Optional[float] = None) -> str:
+    """One unicode bar per entry, scaled to the max value."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(k) for k in values)
+    lines: List[str] = []
+    for name, v in values.items():
+        bar = "█" * max(1, int(round(width * v / peak)))
+        mark = ""
+        if baseline is not None:
+            mark = "  (baseline)" if abs(v - baseline) < 1e-12 else ""
+        lines.append(f"{name.ljust(label_w)} {bar} {v:.3f}{mark}")
+    return "\n".join(lines)
+
+
+def banner(title: str) -> str:
+    line = "=" * max(60, len(title) + 8)
+    return f"\n{line}\n=== {title}\n{line}"

@@ -1,0 +1,144 @@
+"""The paper's study case (Fig. 2, Tables I and II), in closed form.
+
+Section III-B walks six concurrent accesses from one core through a cache
+level where every access spends 2 base cycles and every miss 6 additional
+miss cycles, then derives each miss's MLP-based cost (Table I) and PMC
+(Table II) by hand.  This module reproduces that analysis exactly — with
+:mod:`fractions` arithmetic so ``7/3`` really is 7/3 — and doubles as an
+independent per-cycle oracle for testing the event-driven
+:class:`~repro.core.pmc.ConcurrencyMonitor` (which accrues over intervals).
+
+Reconstructed timeline (1-indexed cycles, from the paper's narration):
+
+======  =====  ===========  ============
+access  kind   base cycles  miss cycles
+======  =====  ===========  ============
+A       miss   1-2          3-8
+B       hit    3-4          —
+C       miss   5-6          7-12
+D       miss   7-8          9-14
+E       miss   7-8          9-14
+F       hit    8-9          —
+======  =====  ===========  ============
+
+Expected results: MLP-based cost A=5, C=D=E=7/3; PMC A=0, C=1, D=E=2;
+active pure miss cycles = 5 (cycles 10-14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class CaseAccess:
+    """One access in a study-case timeline."""
+
+    label: str
+    start: int                 # first base cycle (1-indexed)
+    is_miss: bool
+
+    def base_interval(self, base_cycles: int) -> range:
+        return range(self.start, self.start + base_cycles)
+
+    def miss_interval(self, base_cycles: int, miss_cycles: int) -> range:
+        if not self.is_miss:
+            return range(0)
+        first = self.start + base_cycles
+        return range(first, first + miss_cycles)
+
+
+@dataclass
+class CaseResult:
+    """Per-access costs plus the aggregate pure-miss accounting."""
+
+    mlp_cost: Dict[str, Fraction] = field(default_factory=dict)
+    pmc: Dict[str, Fraction] = field(default_factory=dict)
+    is_pure: Dict[str, bool] = field(default_factory=dict)
+    pure_miss_cycles: List[int] = field(default_factory=list)
+
+    @property
+    def total_pmc(self) -> Fraction:
+        return sum(self.pmc.values(), Fraction(0))
+
+
+def analyze_case(accesses: List[CaseAccess], base_cycles: int = 2,
+                 miss_cycles: int = 6) -> CaseResult:
+    """Cycle-exact MLP-cost and PMC analysis of a concurrent access pattern.
+
+    Implements the definitions directly:
+
+    * MLP-based cost (Qureshi et al.): each miss cycle is divided equally
+      among all concurrently outstanding misses.
+    * PMC (Section IV-A): a cycle contributes only if *no* access from the
+      core is in its base cycles (an active pure miss cycle), again divided
+      evenly among outstanding misses.
+    """
+    if len({a.label for a in accesses}) != len(accesses):
+        raise ValueError("duplicate access labels")
+    result = CaseResult()
+    misses = [a for a in accesses if a.is_miss]
+    for a in misses:
+        result.mlp_cost[a.label] = Fraction(0)
+        result.pmc[a.label] = Fraction(0)
+        result.is_pure[a.label] = False
+
+    last_cycle = max(
+        (a.miss_interval(base_cycles, miss_cycles).stop for a in misses),
+        default=0,
+    )
+    for cycle in range(1, last_cycle):
+        base_active = any(
+            cycle in a.base_interval(base_cycles) for a in accesses)
+        outstanding = [
+            a for a in misses
+            if cycle in a.miss_interval(base_cycles, miss_cycles)
+        ]
+        if not outstanding:
+            continue
+        share = Fraction(1, len(outstanding))
+        for a in outstanding:
+            result.mlp_cost[a.label] += share
+        if not base_active:
+            result.pure_miss_cycles.append(cycle)
+            for a in outstanding:
+                result.pmc[a.label] += share
+                result.is_pure[a.label] = True
+    return result
+
+
+#: Fig. 2's access pattern.
+STUDY_CASE: List[CaseAccess] = [
+    CaseAccess("A", start=1, is_miss=True),
+    CaseAccess("B", start=3, is_miss=False),
+    CaseAccess("C", start=5, is_miss=True),
+    CaseAccess("D", start=7, is_miss=True),
+    CaseAccess("E", start=7, is_miss=True),
+    CaseAccess("F", start=8, is_miss=False),
+]
+
+#: Table I's expected MLP-based costs.
+EXPECTED_MLP: Dict[str, Fraction] = {
+    "A": Fraction(5),
+    "C": Fraction(7, 3),
+    "D": Fraction(7, 3),
+    "E": Fraction(7, 3),
+}
+
+#: Table II's expected PMC values.
+EXPECTED_PMC: Dict[str, Fraction] = {
+    "A": Fraction(0),
+    "C": Fraction(1),
+    "D": Fraction(2),
+    "E": Fraction(2),
+}
+
+#: Table II: "Active pure miss cycles: 5 (cycles 10-14)".
+EXPECTED_PURE_CYCLES: List[int] = [10, 11, 12, 13, 14]
+
+
+def paper_study_case() -> CaseResult:
+    """Analyze Fig. 2's pattern (2 base cycles, 6 miss cycles)."""
+    return analyze_case(STUDY_CASE, base_cycles=2, miss_cycles=6)

@@ -1,0 +1,15 @@
+"""The paper's contribution: PMC measurement and the CARE framework."""
+
+from .pmc import (
+    PMC_BIN_WIDTH,
+    PMC_NUM_BINS,
+    ConcurrencyMonitor,
+    CoreConcurrencyStats,
+    pmc_bin,
+    pmc_delta_summary,
+)
+
+__all__ = [
+    "PMC_BIN_WIDTH", "PMC_NUM_BINS", "ConcurrencyMonitor",
+    "CoreConcurrencyStats", "pmc_bin", "pmc_delta_summary",
+]

@@ -1,0 +1,110 @@
+"""Dynamic Threshold Reconfiguration Mechanism (Section V-F).
+
+DTRM quantizes each served miss's PMC value into a 2-bit PMC State (PMCS)
+using two thresholds, and re-tunes the thresholds each period so the share
+of "costly" misses stays in a healthy band:
+
+* ``PMC < low``  -> PMCS 0 (cheap miss)
+* ``PMC > high`` -> PMCS 3 (costly miss; counted by the TCM register)
+* otherwise      -> PMCS 1
+
+At the end of each period (paper: 16K misses — half the number of LLC
+blocks in the single-core configuration) the thresholds move: if fewer than
+0.5% of the period's misses were costly, both thresholds drop (low by 10,
+high by 70 cycles); if more than 5% were costly, both rise by the same
+steps.  Initial values: low = 50, high = 350 cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class DTRMConfig:
+    """Threshold parameters.
+
+    The class defaults are scaled to this repository's default machine
+    (DRAM round trips of ~120-250 cycles); :meth:`paper` returns the
+    values of Section V-F, which assume the full Table VII latencies.
+    Either way DTRM converges: the steps just start closer to the target
+    band on the scaled machine.
+    """
+
+    initial_low: float = 15.0
+    initial_high: float = 120.0
+    low_step: float = 5.0
+    high_step: float = 25.0
+    decrease_fraction: float = 0.005    # costly share below this -> loosen
+    increase_fraction: float = 0.05     # costly share above this -> tighten
+    min_low: float = 0.0
+    min_gap: float = 10.0               # keep high meaningfully above low
+
+    @classmethod
+    def paper(cls) -> "DTRMConfig":
+        """Section V-F's constants for the full-scale Table VII machine."""
+        return cls(initial_low=50.0, initial_high=350.0,
+                   low_step=10.0, high_step=70.0)
+
+
+class DTRM:
+    """Stateful PMC -> PMCS quantizer with periodic threshold adaptation."""
+
+    PMCS_CHEAP = 0
+    PMCS_MID = 1
+    PMCS_COSTLY = 3
+
+    def __init__(self, period: int = 16384, config: DTRMConfig = None,
+                 adaptive: bool = True) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.cfg = config or DTRMConfig()
+        self.period = period
+        self.adaptive = adaptive
+        self.low = self.cfg.initial_low
+        self.high = self.cfg.initial_high
+        self._misses_this_period = 0
+        self._costly_this_period = 0     # the paper's TCM register
+        self.total_misses = 0
+        self.total_costly = 0
+        #: (low, high) after each completed period, for ablation plots
+        self.threshold_history: List[Tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+    def quantize(self, pmc: float) -> int:
+        """PMCS for a PMC value under the *current* thresholds (read-only)."""
+        if pmc < self.low:
+            return self.PMCS_CHEAP
+        if pmc > self.high:
+            return self.PMCS_COSTLY
+        return self.PMCS_MID
+
+    def observe(self, pmc: float) -> int:
+        """Quantize a served miss's PMC and advance the period machinery."""
+        pmcs = self.quantize(pmc)
+        self._misses_this_period += 1
+        self.total_misses += 1
+        if pmcs == self.PMCS_COSTLY:
+            self._costly_this_period += 1
+            self.total_costly += 1
+        if self._misses_this_period >= self.period:
+            self._end_period()
+        return pmcs
+
+    # ------------------------------------------------------------------
+    def _end_period(self) -> None:
+        cfg = self.cfg
+        if self.adaptive:
+            costly = self._costly_this_period
+            if costly < cfg.decrease_fraction * self.period:
+                self.low -= cfg.low_step
+                self.high -= cfg.high_step
+            elif costly > cfg.increase_fraction * self.period:
+                self.low += cfg.low_step
+                self.high += cfg.high_step
+            self.low = max(self.low, cfg.min_low)
+            self.high = max(self.high, self.low + cfg.min_gap)
+        self.threshold_history.append((self.low, self.high))
+        self._misses_this_period = 0
+        self._costly_this_period = 0

@@ -1,0 +1,21 @@
+"""M-CARE — the paper's MLP-cost ablation of CARE (Section VI).
+
+"The only difference from CARE is that M-CARE does not consider PMC but
+uses MLP-based cost to analyze data access concurrency and guide cache
+management."  Comparing CARE against M-CARE isolates the value of modeling
+hit-miss overlapping (which MLP-based cost ignores).
+"""
+
+from __future__ import annotations
+
+from .care import CAREPolicy
+from ..policies.base import PolicyAccess
+from ..policies.registry import register
+
+
+@register("mcare")
+class MCAREPolicy(CAREPolicy):
+    """CARE driven by MLP-based cost instead of PMC."""
+
+    def cost_signal(self, access: PolicyAccess) -> float:
+        return access.mlp_cost

@@ -1,0 +1,102 @@
+"""Signature History Table and Signature-Based Predictor (Sections V-A/B/C).
+
+The SHT tracks, per 14-bit PC signature, two 3-bit saturating counters:
+
+* **RC (Re-reference Confidence)** — trained up on a block's first reuse and
+  down when a block is evicted unreferenced.  Saturated-high means future
+  blocks from this signature are *High-Reuse*; zero means *Low-Reuse*.
+* **PD (PMC Degree)** — trained by the quantized PMC state (PMCS) of evicted
+  blocks: PMCS 3 (costly miss) increments, PMCS 0 (cheap miss) decrements.
+  Saturated-high predicts *High-Cost* misses, zero predicts *Low-Cost*.
+
+The SBP (Signature-Based Predictor) is the read side: classify a signature's
+expected reuse and cost from the current counter values.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import List
+
+from .signatures import SIG_ENTRIES
+
+
+class ReuseClass(IntEnum):
+    LOW = 0
+    MODERATE = 1
+    HIGH = 2
+
+
+class CostClass(IntEnum):
+    LOW = 0
+    MODERATE = 1
+    HIGH = 2
+
+
+class SignatureHistoryTable:
+    """16K-entry SHT with 3-bit RC and PD counters (Table V)."""
+
+    def __init__(self, entries: int = SIG_ENTRIES, counter_bits: int = 3,
+                 rc_init: int = 2, pd_init: int = 2) -> None:
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        self.entries = entries
+        self.max_value = (1 << counter_bits) - 1
+        if not (0 <= rc_init <= self.max_value and 0 <= pd_init <= self.max_value):
+            raise ValueError("initial counter values out of range")
+        self._rc: List[int] = [rc_init] * entries
+        self._pd: List[int] = [pd_init] * entries
+
+    def _index(self, sig: int) -> int:
+        return sig % self.entries
+
+    # ------------------------------------------------------------------
+    # Raw counters
+    # ------------------------------------------------------------------
+    def rc(self, sig: int) -> int:
+        return self._rc[self._index(sig)]
+
+    def pd(self, sig: int) -> int:
+        return self._pd[self._index(sig)]
+
+    # ------------------------------------------------------------------
+    # Training (all saturating, Section V-B)
+    # ------------------------------------------------------------------
+    def rc_increment(self, sig: int) -> None:
+        i = self._index(sig)
+        if self._rc[i] < self.max_value:
+            self._rc[i] += 1
+
+    def rc_decrement(self, sig: int) -> None:
+        i = self._index(sig)
+        if self._rc[i] > 0:
+            self._rc[i] -= 1
+
+    def pd_increment(self, sig: int) -> None:
+        i = self._index(sig)
+        if self._pd[i] < self.max_value:
+            self._pd[i] += 1
+
+    def pd_decrement(self, sig: int) -> None:
+        i = self._index(sig)
+        if self._pd[i] > 0:
+            self._pd[i] -= 1
+
+    # ------------------------------------------------------------------
+    # SBP predictions (Section V-C)
+    # ------------------------------------------------------------------
+    def reuse_class(self, sig: int) -> ReuseClass:
+        rc = self.rc(sig)
+        if rc >= self.max_value:
+            return ReuseClass.HIGH
+        if rc == 0:
+            return ReuseClass.LOW
+        return ReuseClass.MODERATE
+
+    def cost_class(self, sig: int) -> CostClass:
+        pd = self.pd(sig)
+        if pd >= self.max_value:
+            return CostClass.HIGH
+        if pd == 0:
+            return CostClass.LOW
+        return CostClass.MODERATE

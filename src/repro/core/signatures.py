@@ -1,0 +1,32 @@
+"""PC-based signatures (Section V-A: "14-bit hash of PC").
+
+CARE, SHiP and SHiP++ all index their history tables with a hashed program
+counter.  Following SHiP++ (and Section V-E of the paper), one signature bit
+distinguishes prefetch-initiated from demand-initiated accesses so the two
+access classes learn independently.
+"""
+
+from __future__ import annotations
+
+SIG_BITS = 14
+SIG_ENTRIES = 1 << SIG_BITS      # 16K-entry tables (Table V: 16K SHT entries)
+_PC_SIG_BITS = SIG_BITS - 1      # room for the prefetch bit
+
+
+def hash_pc(pc: int, bits: int = _PC_SIG_BITS) -> int:
+    """Cheap invertible-ish mixing hash folded to ``bits`` bits.
+
+    A fixed xor-shift/multiply mix (SplitMix64 finalizer) keeps nearby PCs
+    from colliding systematically, which matters because our synthetic
+    traces use small dense PC ranges.
+    """
+    x = pc & 0xFFFFFFFFFFFFFFFF
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    return x & ((1 << bits) - 1)
+
+
+def pc_signature(pc: int, prefetch: bool = False) -> int:
+    """14-bit signature: 13-bit PC hash plus the prefetch class bit."""
+    return (hash_pc(pc) << 1) | (1 if prefetch else 0)

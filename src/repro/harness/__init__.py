@@ -1,0 +1,29 @@
+"""Experiment orchestration: figure sweeps and the standalone cache sim."""
+
+from .cachesim import CacheSimResult, simulate_cache
+from .replication import pairwise_verdicts, replicated_speedups
+from .experiment import (
+    BENCH_MIXES,
+    BENCH_RECORDS,
+    BENCH_WORKLOADS,
+    NOPREFETCH_SCHEMES,
+    PREFETCH_SCHEMES,
+    bench_gap_workloads,
+    bench_spec_workloads,
+    clear_cache,
+    run_mix,
+    run_multicopy,
+    run_single,
+    scaling_sweep,
+    speedup_sweep,
+)
+
+__all__ = [
+    "CacheSimResult", "simulate_cache",
+    "pairwise_verdicts", "replicated_speedups",
+    "BENCH_MIXES", "BENCH_RECORDS", "BENCH_WORKLOADS",
+    "NOPREFETCH_SCHEMES", "PREFETCH_SCHEMES",
+    "bench_gap_workloads", "bench_spec_workloads", "clear_cache",
+    "run_mix", "run_multicopy", "run_single", "scaling_sweep",
+    "speedup_sweep",
+]

@@ -1,0 +1,62 @@
+"""Seed-replicated experiments with statistical summaries.
+
+Single-seed results at reduced scale are noisy; this module repeats a
+speedup measurement across trace seeds and reports per-policy
+:class:`~repro.analysis.statistics.RunStatistics`, plus pairwise
+separability verdicts, so claims like "CARE beats SHiP++" can be made (or
+declined) honestly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.metrics import normalized_ipc
+from ..analysis.statistics import RunStatistics, separable, summarize_sweep
+from ..sim.config import SystemConfig
+from ..sim.system import System
+from ..workloads.mixes import multicopy_traces
+
+
+def replicated_speedups(workload: str, policies: Sequence[str],
+                        n_cores: int = 4, prefetch: bool = True,
+                        suite: str = "spec", n_records: int = 4000,
+                        seeds: Sequence[int] = (0, 1, 2),
+                        confidence: float = 0.95
+                        ) -> Dict[str, RunStatistics]:
+    """Speedup over LRU for each policy, summarized across seeds."""
+    if "lru" in policies:
+        policies = [p for p in policies if p != "lru"]
+    tables: List[Dict[str, float]] = []
+    for seed in seeds:
+        traces = [t.records for t in multicopy_traces(
+            workload, n_cores, 2 * n_records, seed=1000 + seed, suite=suite)]
+        cfg = SystemConfig.default(n_cores)
+
+        def run(policy: str):
+            return System(cfg, traces, llc_policy=policy, prefetch=prefetch,
+                          seed=seed, measure_records=n_records,
+                          warmup_records=n_records).run()
+
+        base = run("lru")
+        tables.append({p: normalized_ipc(run(p), base) for p in policies})
+    return summarize_sweep(tables, confidence=confidence)
+
+
+def pairwise_verdicts(workload: str, pair: Tuple[str, str],
+                      n_cores: int = 4, prefetch: bool = True,
+                      suite: str = "spec", n_records: int = 4000,
+                      seeds: Sequence[int] = (0, 1, 2, 3),
+                      alpha: float = 0.05) -> Tuple[bool, float]:
+    """Is policy ``pair[0]`` separably different from ``pair[1]``?
+
+    Returns (significant, p_value) over per-seed speedups.
+    """
+    samples: Dict[str, List[float]] = {pair[0]: [], pair[1]: []}
+    for seed in seeds:
+        stats = replicated_speedups(
+            workload, list(pair), n_cores=n_cores, prefetch=prefetch,
+            suite=suite, n_records=n_records, seeds=[seed])
+        for p in pair:
+            samples[p].append(stats[p].mean)
+    return separable(samples[pair[0]], samples[pair[1]], alpha=alpha)

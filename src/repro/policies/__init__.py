@@ -1,0 +1,5 @@
+"""LLC replacement policies: the paper's baselines and comparison schemes."""
+
+from .base import PolicyAccess, ReplacementPolicy
+
+__all__ = ["PolicyAccess", "ReplacementPolicy"]

@@ -1,0 +1,90 @@
+"""DIP — Dynamic Insertion Policy (Qureshi et al., ISCA'07; the paper's
+citation [33] for adaptive insertion and set sampling).
+
+* **LIP** (LRU Insertion Policy): insert at the *LRU* position instead of
+  MRU, so one-shot blocks fall out immediately; a hit promotes to MRU.
+* **BIP** (Bimodal Insertion Policy): LIP, but with small probability
+  epsilon insert at MRU — retains a thrash-resistant subset.
+* **DIP**: set-duel LIP/BIP... historically BIP vs LRU; we duel the
+  classical pairing (LRU vs BIP) with follower sets taking the winner.
+"""
+
+from __future__ import annotations
+
+from .base import PolicyAccess, ReplacementPolicy
+from .dueling import SetDuel
+from .registry import register
+
+
+class _RecencyBase(ReplacementPolicy):
+    """Timestamp recency machinery shared by the DIP family."""
+
+    def __init__(self, sets: int, ways: int, seed: int = 0) -> None:
+        super().__init__(sets, ways, seed)
+        self._stamp = [[0] * ways for _ in range(sets)]
+        self._clock = 0
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _insert_mru(self, set_idx: int, way: int) -> None:
+        self._stamp[set_idx][way] = self._tick()
+
+    def _insert_lru(self, set_idx: int, way: int) -> None:
+        """Place at the cold end: older than everything resident."""
+        self._tick()
+        stamps = self._stamp[set_idx]
+        coldest = min(stamps)
+        self._stamp[set_idx][way] = coldest - 1
+
+    def find_victim(self, set_idx: int, blocks, access: PolicyAccess) -> int:
+        stamps = self._stamp[set_idx]
+        return min(range(self.ways), key=lambda w: (stamps[w], w))
+
+    def on_hit(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        self._insert_mru(set_idx, way)
+
+
+@register("lip")
+class LIPPolicy(_RecencyBase):
+    """LRU Insertion Policy: every fill lands at the LRU position."""
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        self._insert_lru(set_idx, way)
+
+
+@register("bip")
+class BIPPolicy(_RecencyBase):
+    """Bimodal Insertion: LIP with occasional MRU insertion."""
+
+    def __init__(self, sets: int, ways: int, seed: int = 0,
+                 epsilon: float = 1 / 32) -> None:
+        super().__init__(sets, ways, seed)
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon out of range")
+        self.epsilon = epsilon
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        if self.rng.random() < self.epsilon:
+            self._insert_mru(set_idx, way)
+        else:
+            self._insert_lru(set_idx, way)
+
+
+@register("dip")
+class DIPPolicy(BIPPolicy):
+    """Set-dueled LRU (role A) vs BIP (role B)."""
+
+    def __init__(self, sets: int, ways: int, seed: int = 0,
+                 epsilon: float = 1 / 32,
+                 leaders_per_policy: int = 32) -> None:
+        super().__init__(sets, ways, seed, epsilon)
+        self.duel = SetDuel(sets, leaders_per_policy, seed=seed)
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        self.duel.on_miss(set_idx)
+        if self.duel.choose(set_idx) == SetDuel.ROLE_A:
+            self._insert_mru(set_idx, way)       # plain LRU insertion
+        else:
+            super().on_fill(set_idx, way, blocks, access)

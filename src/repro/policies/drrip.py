@@ -1,0 +1,33 @@
+"""DRRIP — Dynamic RRIP via set dueling (Jaleel et al., ISCA'10).
+
+Duels SRRIP insertion against bimodal (BRRIP) insertion and lets follower
+sets adopt the current winner.
+"""
+
+from __future__ import annotations
+
+from .base import PolicyAccess
+from .dueling import SetDuel
+from .registry import register
+from .srrip import RRIPBase
+
+
+@register("drrip")
+class DRRIPPolicy(RRIPBase):
+    def __init__(self, sets: int, ways: int, seed: int = 0,
+                 rrpv_bits: int = 2, long_probability: float = 1 / 32,
+                 leaders_per_policy: int = 32) -> None:
+        super().__init__(sets, ways, seed, rrpv_bits)
+        self.long_probability = long_probability
+        self.duel = SetDuel(sets, leaders_per_policy, seed=seed)
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        # A fill implies a miss occurred in this set: update the duel.
+        self.duel.on_miss(set_idx)
+        use_srrip = self.duel.choose(set_idx) == SetDuel.ROLE_A
+        if use_srrip:
+            self.rrpv[set_idx][way] = self.rrpv_max - 1
+        elif self.rng.random() < self.long_probability:
+            self.rrpv[set_idx][way] = self.rrpv_max - 1
+        else:
+            self.rrpv[set_idx][way] = self.rrpv_max

@@ -1,0 +1,80 @@
+"""EAF — Evicted-Address Filter (Seshadri et al., PACT'12), the paper's
+citation [39]: one mechanism against both pollution and thrashing.
+
+Recently evicted block addresses are remembered in a filter sized about one
+cache's worth of blocks.  On a miss:
+
+* address **in the filter** → the block was evicted prematurely (high
+  reuse): insert at MRU and drop it from the filter,
+* address **not in the filter** → likely low reuse: insert bimodally (BIP)
+  so streams can't thrash the cache.
+
+The hardware uses a Bloom filter cleared periodically; we model the
+Bloom-filter variant directly (bounded bits, false positives and all).
+"""
+
+from __future__ import annotations
+
+from .base import PolicyAccess, ReplacementPolicy
+from .dip import _RecencyBase
+from .registry import register
+from ..core.signatures import hash_pc
+
+
+class BloomFilter:
+    """Small counting-free Bloom filter with periodic whole-filter reset."""
+
+    def __init__(self, bits: int = 4096, hashes: int = 2,
+                 reset_after: int = 2048) -> None:
+        if bits < 8 or hashes < 1:
+            raise ValueError("bad Bloom filter geometry")
+        self.bits = bits
+        self.hashes = hashes
+        self.reset_after = reset_after
+        self._array = bytearray(bits)
+        self._inserted = 0
+
+    def _positions(self, key: int):
+        for i in range(self.hashes):
+            yield hash_pc(key * (i * 2 + 1) + 0x9E37, 24) % self.bits
+
+    def insert(self, key: int) -> None:
+        for pos in self._positions(key):
+            self._array[pos] = 1
+        self._inserted += 1
+        if self._inserted >= self.reset_after:
+            self._array = bytearray(self.bits)
+            self._inserted = 0
+
+    def test(self, key: int) -> bool:
+        return all(self._array[pos] for pos in self._positions(key))
+
+
+@register("eaf")
+class EAFPolicy(_RecencyBase):
+    def __init__(self, sets: int, ways: int, seed: int = 0,
+                 epsilon: float = 1 / 32,
+                 filter_bits: int = 0) -> None:
+        super().__init__(sets, ways, seed)
+        self.epsilon = epsilon
+        # Filter sized ~8 bits per cache block by default (EAF paper sizes
+        # the filter to one cache of addresses).
+        bits = filter_bits if filter_bits else max(64, 8 * sets * ways)
+        self.filter = BloomFilter(bits=bits, reset_after=sets * ways)
+        self._block = [[-1] * ways for _ in range(sets)]
+
+    def on_evict(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        block = self._block[set_idx][way]
+        if block >= 0:
+            self.filter.insert(block)
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        block = access.addr >> 6
+        self._block[set_idx][way] = block
+        if self.filter.test(block):
+            # Recently evicted and wanted again: it has reuse.
+            self._insert_mru(set_idx, way)
+        elif self.rng.random() < self.epsilon:
+            self._insert_mru(set_idx, way)
+        else:
+            self._insert_lru(set_idx, way)

@@ -1,0 +1,24 @@
+"""First-in first-out replacement (testing/ablation baseline)."""
+
+from __future__ import annotations
+
+from .base import PolicyAccess, ReplacementPolicy
+from .registry import register
+
+
+@register("fifo")
+class FIFOPolicy(ReplacementPolicy):
+    """Evict the oldest-filled block; hits do not refresh age."""
+
+    def __init__(self, sets: int, ways: int, seed: int = 0) -> None:
+        super().__init__(sets, ways, seed)
+        self._fill_stamp = [[0] * ways for _ in range(sets)]
+        self._clock = 0
+
+    def find_victim(self, set_idx: int, blocks, access: PolicyAccess) -> int:
+        stamps = self._fill_stamp[set_idx]
+        return min(range(self.ways), key=lambda w: stamps[w])
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        self._clock += 1
+        self._fill_stamp[set_idx][way] = self._clock

@@ -1,0 +1,160 @@
+"""Glider (Shi et al., MICRO'19) — ISVM-based cache-friendliness prediction.
+
+The paper's machine-learning comparison scheme.  Glider's offline LSTM study
+distilled into hardware: per load PC, an Integer Support Vector Machine over
+the core's recent *PC history register* (PCHR) predicts whether the access
+is cache-friendly.  Training labels come from the same OPTgen reconstruction
+Hawkeye uses; cache management also mirrors Hawkeye's 0/7 age scheme (which
+is how the original artifact behaves).
+
+Implementation notes (faithful to the published design, simplified sizes):
+
+* PCHR: the last ``history`` load PCs per core.
+* Per-PC ISVM: 16 integer weights; each history element hashes to one
+  weight; the prediction is the sum over the history's weights.
+* Training uses a margin: weights only update while the running sum is
+  below the training threshold, which is what keeps ISVMs from saturating.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from .base import PolicyAccess, ReplacementPolicy
+from .optgen import OptGen
+from .registry import register
+from .sampling import choose_sampled_sets
+from ..core.signatures import hash_pc
+
+_WEIGHTS_PER_ISVM = 16
+_WEIGHT_MAX = 15
+_WEIGHT_MIN = -16
+
+
+class ISVMTable:
+    """One small integer SVM per load PC."""
+
+    def __init__(self, max_pcs: int = 2048,
+                 predict_threshold: int = 0,
+                 train_threshold: int = 30) -> None:
+        self.max_pcs = max_pcs
+        self.predict_threshold = predict_threshold
+        self.train_threshold = train_threshold
+        self._tables: Dict[int, List[int]] = {}
+
+    def _table(self, pc: int) -> List[int]:
+        key = hash_pc(pc, 16) % self.max_pcs
+        table = self._tables.get(key)
+        if table is None:
+            table = [0] * _WEIGHTS_PER_ISVM
+            self._tables[key] = table
+        return table
+
+    @staticmethod
+    def _indices(history: Tuple[int, ...]) -> List[int]:
+        return [h % _WEIGHTS_PER_ISVM for h in history]
+
+    def raw_sum(self, pc: int, history: Tuple[int, ...]) -> int:
+        table = self._table(pc)
+        return sum(table[i] for i in self._indices(history))
+
+    def friendly(self, pc: int, history: Tuple[int, ...]) -> bool:
+        return self.raw_sum(pc, history) >= self.predict_threshold
+
+    def train(self, pc: int, history: Tuple[int, ...], hit: bool) -> None:
+        table = self._table(pc)
+        total = self.raw_sum(pc, history)
+        if hit:
+            if total < self.train_threshold:
+                for i in self._indices(history):
+                    table[i] = min(table[i] + 1, _WEIGHT_MAX)
+        else:
+            if total > -self.train_threshold:
+                for i in self._indices(history):
+                    table[i] = max(table[i] - 1, _WEIGHT_MIN)
+
+
+@register("glider")
+class GliderPolicy(ReplacementPolicy):
+    MAX_AGE = 7
+
+    def __init__(self, sets: int, ways: int, seed: int = 0,
+                 n_cores: int = 1, history: int = 5,
+                 sampled_target: int = 64) -> None:
+        super().__init__(sets, ways, seed)
+        self.isvm = ISVMTable()
+        self.history_len = history
+        self._pchr: List[Deque[int]] = [
+            deque(maxlen=history) for _ in range(max(1, n_cores))
+        ]
+        self.sampled = choose_sampled_sets(sets, sampled_target)
+        self._optgen: Dict[int, OptGen] = {s: OptGen(ways) for s in self.sampled}
+        self._age: List[List[int]] = [[self.MAX_AGE] * ways for _ in range(sets)]
+        # Fill PC + history snapshot per block, for forced-eviction detraining
+        # (same corrective feedback Hawkeye applies to its predictor).
+        self._pc: List[List[int]] = [[0] * ways for _ in range(sets)]
+        self._hist: List[List[Tuple[int, ...]]] = [
+            [()] * ways for _ in range(sets)]
+
+    # ------------------------------------------------------------------
+    def _history(self, core: int) -> Tuple[int, ...]:
+        if core >= len(self._pchr):            # defensive: unknown core
+            core = 0
+        return tuple(self._pchr[core])
+
+    def _observe(self, access: PolicyAccess) -> Tuple[int, ...]:
+        """Snapshot the PCHR for this access, then push the PC into it."""
+        core = access.core if access.core < len(self._pchr) else 0
+        snapshot = tuple(self._pchr[core])
+        self._pchr[core].append(hash_pc(access.pc, 16))
+        return snapshot
+
+    def _sample(self, set_idx: int, access: PolicyAccess,
+                history: Tuple[int, ...]) -> None:
+        if set_idx not in self.sampled:
+            return
+        label = self._optgen[set_idx].access(
+            access.addr >> 6, access.pc, context=history)
+        if label is not None:
+            self.isvm.train(label.pc, label.context, label.hit)
+
+    def _update(self, set_idx: int, way: int, access: PolicyAccess,
+                filling: bool) -> None:
+        history = self._observe(access)
+        self._sample(set_idx, access, history)
+        self._pc[set_idx][way] = access.pc
+        self._hist[set_idx][way] = history
+        ages = self._age[set_idx]
+        if self.isvm.friendly(access.pc, history):
+            ages[way] = 0
+            if filling:
+                for w in range(self.ways):
+                    if w != way and ages[w] < self.MAX_AGE - 1:
+                        ages[w] += 1
+        else:
+            ages[way] = self.MAX_AGE
+
+    # ------------------------------------------------------------------
+    def find_victim(self, set_idx: int, blocks, access: PolicyAccess) -> int:
+        ages = self._age[set_idx]
+        for way in range(self.ways):
+            if ages[way] == self.MAX_AGE:
+                return way
+        # No cache-averse block: evicting a predicted-friendly block means
+        # the prediction was wrong; detrain its ISVM.
+        victim = max(range(self.ways), key=lambda w: (ages[w], -w))
+        self.isvm.train(self._pc[set_idx][victim],
+                        self._hist[set_idx][victim], hit=False)
+        return victim
+
+    def on_hit(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        if access.is_writeback:
+            return
+        self._update(set_idx, way, access, filling=False)
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        if access.is_writeback:
+            self._age[set_idx][way] = self.MAX_AGE
+            return
+        self._update(set_idx, way, access, filling=True)

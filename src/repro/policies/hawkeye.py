@@ -1,0 +1,117 @@
+"""Hawkeye (Jain & Lin, ISCA'16) — learning Belady's OPT.
+
+One of the paper's locality-only comparison schemes.  Hawkeye reconstructs
+what Belady's OPT would have done on sampled sets (:mod:`.optgen`), trains a
+per-PC predictor with those labels, and manages the cache with 3-bit ages:
+
+* blocks predicted *cache-friendly* insert at age 0; inserting a friendly
+  block ages every other friendly block by one (so stale friendly blocks can
+  eventually be victimized),
+* blocks predicted *cache-averse* insert at age 7 and are preferred victims,
+* when no averse block exists, the oldest friendly block is evicted and its
+  load PC is detrained (the prediction was evidently wrong).
+
+Writebacks insert averse and never train.  Demand and prefetch accesses use
+distinct predictor indices (the CRC-2 version trains prefetches separately).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import PolicyAccess, ReplacementPolicy
+from .optgen import OptGen
+from .registry import register
+from .sampling import choose_sampled_sets
+from ..core.signatures import hash_pc
+
+
+class HawkeyePredictor:
+    """3-bit saturating per-PC counters; >=4 means cache-friendly."""
+
+    def __init__(self, entries: int = 8192, bits: int = 3) -> None:
+        self.entries = entries
+        self.max_value = (1 << bits) - 1
+        self.threshold = (self.max_value + 1) // 2
+        self._table = [self.threshold] * entries
+
+    def _index(self, pc: int, prefetch: bool) -> int:
+        # Mix the prefetch class into the hashed PC (not a plain XOR on the
+        # index, which a power-of-two modulus could cancel out).
+        key = pc ^ (0x9E3779B9 if prefetch else 0)
+        return hash_pc(key, 16) % self.entries
+
+    def friendly(self, pc: int, prefetch: bool = False) -> bool:
+        return self._table[self._index(pc, prefetch)] >= self.threshold
+
+    def train(self, pc: int, hit: bool, prefetch: bool = False) -> None:
+        i = self._index(pc, prefetch)
+        if hit:
+            self._table[i] = min(self._table[i] + 1, self.max_value)
+        else:
+            self._table[i] = max(self._table[i] - 1, 0)
+
+
+@register("hawkeye")
+class HawkeyePolicy(ReplacementPolicy):
+    MAX_AGE = 7          # 3-bit RRIP-style age; 7 == cache-averse
+
+    def __init__(self, sets: int, ways: int, seed: int = 0,
+                 sampled_target: int = 64,
+                 predictor_entries: int = 8192) -> None:
+        super().__init__(sets, ways, seed)
+        self.predictor = HawkeyePredictor(predictor_entries)
+        self.sampled = choose_sampled_sets(sets, sampled_target)
+        self._optgen: Dict[int, OptGen] = {
+            s: OptGen(ways) for s in self.sampled}
+        self._age: List[List[int]] = [[self.MAX_AGE] * ways for _ in range(sets)]
+        # PC that last touched each block, for detraining on forced evictions.
+        self._pc: List[List[int]] = [[0] * ways for _ in range(sets)]
+        self._pf: List[List[bool]] = [[False] * ways for _ in range(sets)]
+
+    # ------------------------------------------------------------------
+    def _sample(self, set_idx: int, access: PolicyAccess) -> None:
+        if set_idx not in self.sampled or access.is_writeback:
+            return
+        label = self._optgen[set_idx].access(
+            access.addr >> 6, access.pc, context=access.prefetch)
+        if label is not None:
+            self.predictor.train(label.pc, label.hit,
+                                 prefetch=bool(label.context))
+
+    # ------------------------------------------------------------------
+    def find_victim(self, set_idx: int, blocks, access: PolicyAccess) -> int:
+        ages = self._age[set_idx]
+        for way in range(self.ways):
+            if ages[way] == self.MAX_AGE:
+                return way
+        # No averse block: evict the oldest friendly one and detrain its PC.
+        victim = max(range(self.ways), key=lambda w: (ages[w], -w))
+        self.predictor.train(self._pc[set_idx][victim], hit=False,
+                             prefetch=self._pf[set_idx][victim])
+        return victim
+
+    def on_hit(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        if access.is_writeback:
+            return
+        self._sample(set_idx, access)
+        friendly = self.predictor.friendly(access.pc, access.prefetch)
+        self._age[set_idx][way] = 0 if friendly else self.MAX_AGE
+        self._pc[set_idx][way] = access.pc
+        self._pf[set_idx][way] = access.prefetch
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        ages = self._age[set_idx]
+        self._pc[set_idx][way] = access.pc
+        self._pf[set_idx][way] = access.prefetch
+        if access.is_writeback:
+            ages[way] = self.MAX_AGE
+            return
+        self._sample(set_idx, access)
+        if self.predictor.friendly(access.pc, access.prefetch):
+            ages[way] = 0
+            for w in range(self.ways):
+                if w != way and ages[w] < self.MAX_AGE - 1:
+                    ages[w] += 1
+        else:
+            ages[way] = self.MAX_AGE

@@ -1,0 +1,54 @@
+"""LACS — Locality-Aware Cost-Sensitive replacement (Kharbutli & Sheikh).
+
+Background baseline from Section II-D.  LACS estimates a miss's cost by the
+number of instructions the processor managed to issue while the miss was
+outstanding: few issued instructions means the miss stalled the core (high
+cost), many means the penalty was hidden (low cost).  Blocks fetched by
+low-cost misses become eviction candidates once they look dead.
+
+Our substrate exposes exactly this signal: the LLC stamps each MSHR entry
+with the core's issued-instruction count and reports the delta at fill time
+(``PolicyAccess.instr_during_miss``).
+"""
+
+from __future__ import annotations
+
+from .base import PolicyAccess, ReplacementPolicy
+from .registry import register
+
+
+@register("lacs")
+class LACSPolicy(ReplacementPolicy):
+    """Cost-sensitive LRU: prefer evicting blocks whose miss was cheap."""
+
+    def __init__(self, sets: int, ways: int, seed: int = 0,
+                 cheap_threshold: int = 64) -> None:
+        super().__init__(sets, ways, seed)
+        # A miss during which the core issued >= cheap_threshold
+        # instructions is considered hidden (low cost).
+        self.cheap_threshold = cheap_threshold
+        self._stamp = [[0] * ways for _ in range(sets)]
+        self._cheap = [[True] * ways for _ in range(sets)]
+        self._clock = 0
+
+    def _touch(self, set_idx: int, way: int) -> None:
+        self._clock += 1
+        self._stamp[set_idx][way] = self._clock
+
+    def find_victim(self, set_idx: int, blocks, access: PolicyAccess) -> int:
+        stamps = self._stamp[set_idx]
+        cheap = self._cheap[set_idx]
+        cheap_ways = [w for w in range(self.ways) if cheap[w]]
+        pool = cheap_ways if cheap_ways else list(range(self.ways))
+        return min(pool, key=lambda w: stamps[w])
+
+    def on_hit(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        self._touch(set_idx, way)
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        self._touch(set_idx, way)
+        if access.is_writeback:
+            self._cheap[set_idx][way] = True
+        else:
+            self._cheap[set_idx][way] = (
+                access.instr_during_miss >= self.cheap_threshold)

@@ -1,0 +1,36 @@
+"""Least Frequently Used with periodic decay (testing/ablation baseline)."""
+
+from __future__ import annotations
+
+from .base import PolicyAccess, ReplacementPolicy
+from .registry import register
+
+
+@register("lfu")
+class LFUPolicy(ReplacementPolicy):
+    """Saturating per-block frequency counters, halved every ``decay_period``
+    fills to track phase changes."""
+
+    def __init__(self, sets: int, ways: int, seed: int = 0,
+                 max_count: int = 255, decay_period: int = 4096) -> None:
+        super().__init__(sets, ways, seed)
+        self.max_count = max_count
+        self.decay_period = decay_period
+        self._count = [[0] * ways for _ in range(sets)]
+        self._fills = 0
+
+    def find_victim(self, set_idx: int, blocks, access: PolicyAccess) -> int:
+        counts = self._count[set_idx]
+        return min(range(self.ways), key=lambda w: counts[w])
+
+    def on_hit(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        c = self._count[set_idx]
+        c[way] = min(c[way] + 1, self.max_count)
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        self._count[set_idx][way] = 1
+        self._fills += 1
+        if self._fills % self.decay_period == 0:
+            for counts in self._count:
+                for w in range(self.ways):
+                    counts[w] >>= 1

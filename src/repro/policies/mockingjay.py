@@ -1,0 +1,153 @@
+"""Mockingjay (Shah, Jain & Lin, HPCA'22) — reuse-distance mimicry of OPT.
+
+The strongest locality-only baseline in the paper's scaling study.  Rather
+than Hawkeye's binary friendly/averse classes, Mockingjay predicts a
+*reuse distance* per load PC and evicts the block whose predicted next use
+is farthest away ("estimated time remaining", ETR).
+
+Faithful-but-simplified implementation:
+
+* **Sampled cache**: for sampled sets we remember each block's last access
+  (per-set logical time and PC).  When a block is re-touched, the observed
+  reuse distance trains the Reuse Distance Predictor (RDP) entry of the
+  *previous* PC; blocks that age out of the sampler train toward "infinite"
+  reuse distance.
+* **RDP**: per-PC predicted reuse distance with Mockingjay's
+  difference-based update (move by +/-1 when close, jump when wildly off).
+* **Replacement**: each block stores its predicted next-use time
+  (set-local clock + predicted distance).  The victim is the valid block
+  with the largest remaining time; blocks whose predicted reuse already
+  passed are treated as dead and preferred.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .base import PolicyAccess, ReplacementPolicy
+from .registry import register
+from .sampling import choose_sampled_sets
+from ..core.signatures import hash_pc
+
+#: RDP value used for "never reused within reach" training.
+_INFINITE_RD = 1024
+
+
+class ReuseDistancePredictor:
+    """Per-PC predicted reuse distance with difference-based updates."""
+
+    def __init__(self, entries: int = 4096, max_value: int = _INFINITE_RD) -> None:
+        self.entries = entries
+        self.max_value = max_value
+        self._table: Dict[int, int] = {}
+
+    #: prediction for a PC never seen by the sampler: mid-range, so fresh
+    #: blocks are neither instant victims nor immortal.
+    DEFAULT_RD = 16
+
+    def _index(self, pc: int, prefetch: bool) -> int:
+        key = pc ^ (0x9E3779B9 if prefetch else 0)
+        return hash_pc(key, 16) % self.entries
+
+    def predict(self, pc: int, prefetch: bool = False) -> int:
+        return self._table.get(self._index(pc, prefetch), self.DEFAULT_RD)
+
+    def train(self, pc: int, observed: int, prefetch: bool = False) -> None:
+        i = self._index(pc, prefetch)
+        current = self._table.get(i)
+        if current is None:
+            self._table[i] = min(observed, self.max_value)
+            return
+        diff = observed - current
+        if abs(diff) <= 8:
+            step = diff                       # close: snap to observation
+        else:
+            step = diff // 4                  # far: move a quarter of the way
+        self._table[i] = max(0, min(current + step, self.max_value))
+
+
+class _SampledSet:
+    """Last-access tracker for one sampled set."""
+
+    __slots__ = ("capacity", "time", "entries")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.time = 0
+        # tag -> (last_time, pc, prefetch)
+        self.entries: Dict[int, Tuple[int, int, bool]] = {}
+
+    def access(self, tag: int, pc: int, prefetch: bool):
+        """Returns (train_pc, observed_rd, train_prefetch) or None, plus
+        a list of aged-out entries to train as infinite."""
+        label = None
+        prev = self.entries.pop(tag, None)
+        if prev is not None:
+            last_time, last_pc, last_pf = prev
+            label = (last_pc, self.time - last_time, last_pf)
+        aged_out = []
+        if len(self.entries) >= self.capacity:
+            # Evict the stalest tracked block: it was never re-seen.
+            stale_tag = min(self.entries, key=lambda t: self.entries[t][0])
+            _, stale_pc, stale_pf = self.entries.pop(stale_tag)
+            aged_out.append((stale_pc, stale_pf))
+        self.entries[tag] = (self.time, pc, prefetch)
+        self.time += 1
+        return label, aged_out
+
+
+@register("mockingjay")
+class MockingjayPolicy(ReplacementPolicy):
+    def __init__(self, sets: int, ways: int, seed: int = 0,
+                 sampled_target: int = 64, sampler_capacity_factor: int = 4,
+                 rdp_entries: int = 4096) -> None:
+        super().__init__(sets, ways, seed)
+        self.rdp = ReuseDistancePredictor(rdp_entries)
+        self.sampled = choose_sampled_sets(sets, sampled_target)
+        self._samplers: Dict[int, _SampledSet] = {
+            s: _SampledSet(ways * sampler_capacity_factor) for s in self.sampled
+        }
+        # Per-set logical clocks and per-block predicted next-use times.
+        self._clock: List[int] = [0] * sets
+        self._next_use: List[List[int]] = [[0] * ways for _ in range(sets)]
+
+    # ------------------------------------------------------------------
+    def _sample(self, set_idx: int, access: PolicyAccess) -> None:
+        if set_idx not in self.sampled or access.is_writeback:
+            return
+        label, aged_out = self._samplers[set_idx].access(
+            access.addr >> 6, access.pc, access.prefetch)
+        if label is not None:
+            pc, observed, pf = label
+            self.rdp.train(pc, observed, pf)
+        for pc, pf in aged_out:
+            self.rdp.train(pc, _INFINITE_RD, pf)
+
+    def _stamp(self, set_idx: int, way: int, access: PolicyAccess) -> None:
+        predicted = self.rdp.predict(access.pc, access.prefetch)
+        self._next_use[set_idx][way] = self._clock[set_idx] + predicted
+
+    # ------------------------------------------------------------------
+    def find_victim(self, set_idx: int, blocks, access: PolicyAccess) -> int:
+        # Mockingjay's rule: evict the line with the largest |ETR| —
+        # either predicted-farthest-in-the-future or longest-overdue.
+        now = self._clock[set_idx]
+        next_use = self._next_use[set_idx]
+        return max(range(self.ways),
+                   key=lambda w: (abs(next_use[w] - now), -w))
+
+    def on_hit(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        self._clock[set_idx] += 1
+        if access.is_writeback:
+            return
+        self._sample(set_idx, access)
+        self._stamp(set_idx, way, access)
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        self._clock[set_idx] += 1
+        if access.is_writeback:
+            # Writebacks get no predicted reuse: immediately stale.
+            self._next_use[set_idx][way] = self._clock[set_idx] - 1
+            return
+        self._sample(set_idx, access)
+        self._stamp(set_idx, way, access)

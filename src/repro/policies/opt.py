@@ -1,0 +1,46 @@
+"""Belady's OPT (MIN) — the offline optimal upper bound (Section II-C).
+
+OPT needs future knowledge, so it is only usable with the standalone
+single-level simulator (:mod:`repro.harness.cachesim`), which precomputes
+each access's next-use position and passes it via
+``PolicyAccess.next_use``.  Attempting to use it in the timing simulator
+(where the future is unknown) raises immediately rather than silently
+degrading.
+"""
+
+from __future__ import annotations
+
+from .base import PolicyAccess, ReplacementPolicy
+from .registry import register
+
+#: next_use sentinel for "never referenced again".
+NEVER = 1 << 60
+
+
+@register("opt")
+class OPTPolicy(ReplacementPolicy):
+    """Evict the block whose next use lies farthest in the future."""
+
+    requires_future = True
+
+    def __init__(self, sets: int, ways: int, seed: int = 0) -> None:
+        super().__init__(sets, ways, seed)
+        self._next_use = [[NEVER] * ways for _ in range(sets)]
+
+    @staticmethod
+    def _check(access: PolicyAccess) -> int:
+        if access.next_use < 0:
+            raise ValueError(
+                "OPT requires future knowledge; run it through "
+                "repro.harness.cachesim, not the timing simulator")
+        return access.next_use
+
+    def find_victim(self, set_idx: int, blocks, access: PolicyAccess) -> int:
+        nxt = self._next_use[set_idx]
+        return max(range(self.ways), key=lambda w: (nxt[w], -w))
+
+    def on_hit(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        self._next_use[set_idx][way] = self._check(access)
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        self._next_use[set_idx][way] = self._check(access)

@@ -1,0 +1,85 @@
+"""OPTgen — online reconstruction of Belady's decisions (Jain & Lin, ISCA'16).
+
+Hawkeye's key mechanism, reused by our Glider implementation: for a sampled
+cache set, replay the access stream against a *liveness/occupancy vector* to
+decide whether Belady's OPT would have hit each reuse.  If, over the
+interval between two touches of the same block, the number of
+simultaneously-live OPT intervals never reaches the set's associativity,
+OPT would have kept the block (a hit) — otherwise it would not.
+
+The verdict labels the *previous* access to the block (the access that chose
+to keep or not keep it), which is what trains the PC predictor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+
+@dataclass
+class OptLabel:
+    """Training outcome for one re-reference in a sampled set."""
+
+    pc: int            # PC of the previous access to the block
+    hit: bool          # would OPT have hit this reuse?
+    context: object    # opaque payload stored with the previous access
+
+
+class OptGen:
+    """Occupancy-vector OPT oracle for a single cache set."""
+
+    def __init__(self, ways: int, window: Optional[int] = None) -> None:
+        if ways < 1:
+            raise ValueError("ways must be >= 1")
+        self.ways = ways
+        #: how many past accesses we can still reason about (Hawkeye: 8x assoc)
+        self.window = window if window is not None else 8 * ways
+        self._occupancy: Deque[int] = deque(maxlen=self.window)
+        self._base = 0                       # stream position of occupancy[0]
+        self._time = 0                       # per-set access counter
+        # block tag -> (position, pc, context) of its most recent access
+        self._last: Dict[int, Tuple[int, int, object]] = {}
+
+    # ------------------------------------------------------------------
+    def access(self, tag: int, pc: int, context: object = None) -> Optional[OptLabel]:
+        """Record an access; return a label if this is a visible reuse."""
+        label: Optional[OptLabel] = None
+        prev = self._last.get(tag)
+        if prev is not None:
+            prev_pos, prev_pc, prev_ctx = prev
+            if prev_pos >= self._base:
+                start = prev_pos - self._base
+                end = self._time - self._base
+                interval = [self._occupancy[i] for i in range(start, end)]
+                if all(level < self.ways for level in interval):
+                    for i in range(start, end):
+                        self._occupancy[i] += 1
+                    label = OptLabel(pc=prev_pc, hit=True, context=prev_ctx)
+                else:
+                    label = OptLabel(pc=prev_pc, hit=False, context=prev_ctx)
+            else:
+                # Reuse distance exceeded the modeled window: OPT wouldn't
+                # plausibly have held it; train negatively.
+                label = OptLabel(pc=prev_pc, hit=False, context=prev_ctx)
+
+        if len(self._occupancy) == self.window:
+            self._base += 1                  # oldest slot falls out
+        self._occupancy.append(0)
+        self._last[tag] = (self._time, pc, context)
+        self._time += 1
+        self._trim()
+        return label
+
+    def _trim(self) -> None:
+        """Drop address map entries that fell out of the window (bounds memory
+        the way the real structure's 8x-associativity history does)."""
+        if len(self._last) > 4 * self.window:
+            cutoff = self._base
+            self._last = {t: v for t, v in self._last.items() if v[0] >= cutoff}
+
+    # ------------------------------------------------------------------
+    @property
+    def time(self) -> int:
+        return self._time

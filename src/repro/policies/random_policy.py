@@ -1,0 +1,12 @@
+"""Uniform-random replacement (testing/ablation baseline)."""
+
+from __future__ import annotations
+
+from .base import PolicyAccess, ReplacementPolicy
+from .registry import register
+
+
+@register("random")
+class RandomPolicy(ReplacementPolicy):
+    def find_victim(self, set_idx: int, blocks, access: PolicyAccess) -> int:
+        return self.rng.randrange(self.ways)

@@ -1,0 +1,77 @@
+"""Name → policy factory registry.
+
+Every scheme evaluated in the paper (plus the classical policies they build
+on and testing aids like Belady-OPT for the standalone simulator) registers
+here.  ``make_policy`` instantiates by name; extra keyword arguments flow to
+the policy constructor so experiment code can override scheme parameters.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, List
+
+from .base import ReplacementPolicy
+
+_REGISTRY: Dict[str, Callable[..., ReplacementPolicy]] = {}
+
+
+def register(name: str):
+    """Class decorator: register a policy under ``name``."""
+
+    def deco(cls):
+        if name in _REGISTRY:
+            raise ValueError(f"policy {name!r} already registered")
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def available_policies() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def make_policy(name: str, sets: int, ways: int, seed: int = 0,
+                **kwargs) -> ReplacementPolicy:
+    """Instantiate the policy registered under ``name``.
+
+    Keyword arguments not accepted by the policy's constructor (e.g.
+    ``n_cores`` for single-core-agnostic policies) are dropped, so the
+    System can pass a uniform context to every scheme.
+    """
+    _ensure_loaded()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        ) from None
+    params = inspect.signature(factory.__init__).parameters
+    accepts_var = any(p.kind == inspect.Parameter.VAR_KEYWORD
+                      for p in params.values())
+    if not accepts_var:
+        kwargs = {k: v for k, v in kwargs.items() if k in params}
+    return factory(sets, ways, seed=seed, **kwargs)
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    """Import every policy module once so decorators run."""
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    from . import (  # noqa: F401
+        fifo, lfu, lru, random_policy, srrip, drrip, dip, rlr, eaf,
+        ship, shippp, sbar, lacs, hawkeye, glider, mockingjay, opt,
+    )
+    from ..core import care, mcare  # noqa: F401
+    # Register classical policies that predate the decorator.
+    from .lru import LRUPolicy
+    if "lru" not in _REGISTRY:
+        _REGISTRY["lru"] = LRUPolicy

@@ -1,0 +1,25 @@
+"""Sampled-set selection shared by SHiP, SHiP++, Hawkeye, Glider, Mockingjay
+and CARE.
+
+All of these schemes learn from a small number of *sampled sets* to bound
+metadata cost (the paper samples 64 LLC sets, Section V-G).  Sets are chosen
+deterministically and spread uniformly across the index space.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+
+def choose_sampled_sets(sets: int, target: int = 64) -> FrozenSet[int]:
+    """Pick up to ``target`` sampled sets, uniformly strided.
+
+    For small test caches (fewer than 2x ``target`` sets) every other set is
+    sampled so learning still happens.
+    """
+    if sets <= 0:
+        raise ValueError("sets must be positive")
+    count = min(target, max(1, sets // 2)) if sets > 1 else 1
+    stride = max(1, sets // count)
+    chosen = frozenset(range(0, sets, stride))
+    return frozenset(list(chosen)[:max(count, 1)]) if len(chosen) > count else chosen

@@ -1,0 +1,81 @@
+"""SBAR — MLP-aware cache replacement (Qureshi et al., ISCA'06).
+
+The cost-based baseline the paper contrasts PMC against (Sections II-A and
+III-B).  Each block stores a quantized *MLP-based cost*: the miss that
+fetched it accumulated ``1/N`` per miss cycle over the ``N`` concurrently
+outstanding misses, so isolated misses are expensive and overlapped misses
+cheap.  The *LIN* policy evicts the block minimizing
+``recency_rank + weight * quantized_cost``; SBAR (Sampling Based Adaptive
+Replacement) set-duels LIN against plain LRU and follows the winner, which
+protects workloads whose cost estimates misbehave.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import PolicyAccess, ReplacementPolicy
+from .dueling import SetDuel
+from .registry import register
+
+
+def quantize_mlp_cost(cost: float, quantum: float = 60.0,
+                      max_level: int = 7) -> int:
+    """3-bit cost quantization (cost levels 0..7), as in the MLP paper."""
+    if cost < 0:
+        raise ValueError(f"negative MLP cost {cost}")
+    return min(int(cost // quantum), max_level)
+
+
+@register("sbar")
+class SBARPolicy(ReplacementPolicy):
+    """Linear (recency + cost) victim selection with LRU set-dueling."""
+
+    def __init__(self, sets: int, ways: int, seed: int = 0,
+                 cost_weight: int = 1, cost_quantum: float = 60.0,
+                 leaders_per_policy: int = 32) -> None:
+        super().__init__(sets, ways, seed)
+        self.cost_weight = cost_weight
+        self.cost_quantum = cost_quantum
+        self._stamp = [[0] * ways for _ in range(sets)]
+        self._cost = [[0] * ways for _ in range(sets)]
+        self._clock = 0
+        self.duel = SetDuel(sets, leaders_per_policy, seed=seed)
+
+    # ------------------------------------------------------------------
+    def _touch(self, set_idx: int, way: int) -> None:
+        self._clock += 1
+        self._stamp[set_idx][way] = self._clock
+
+    def _recency_ranks(self, set_idx: int) -> List[int]:
+        """Rank 0 = LRU ... ways-1 = MRU."""
+        stamps = self._stamp[set_idx]
+        order = sorted(range(self.ways), key=lambda w: stamps[w])
+        ranks = [0] * self.ways
+        for rank, way in enumerate(order):
+            ranks[way] = rank
+        return ranks
+
+    # ------------------------------------------------------------------
+    def find_victim(self, set_idx: int, blocks, access: PolicyAccess) -> int:
+        use_lin = self.duel.choose(set_idx) == SetDuel.ROLE_A
+        ranks = self._recency_ranks(set_idx)
+        if not use_lin:
+            return ranks.index(0)       # plain LRU victim
+        costs = self._cost[set_idx]
+        return min(
+            range(self.ways),
+            key=lambda w: (ranks[w] + self.cost_weight * costs[w], w),
+        )
+
+    def on_hit(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        self._touch(set_idx, way)
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        self.duel.on_miss(set_idx)
+        self._touch(set_idx, way)
+        if access.is_writeback:
+            self._cost[set_idx][way] = 0
+        else:
+            self._cost[set_idx][way] = quantize_mlp_cost(
+                access.mlp_cost, self.cost_quantum)

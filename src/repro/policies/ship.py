@@ -1,0 +1,101 @@
+"""SHiP — Signature-based Hit Predictor (Wu et al., MICRO'11).
+
+SRRIP augmented with a Signature History Counter Table (SHCT): each PC
+signature keeps a saturating counter of whether its blocks get reused.
+Blocks whose signature counter is zero are inserted at distant RRPV (likely
+dead on arrival); everything else inserts like SRRIP.  The SHCT trains from
+sampled sets only: +1 on a block's first reuse, -1 when a block is evicted
+without reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import PolicyAccess
+from .registry import register
+from .sampling import choose_sampled_sets
+from .srrip import RRIPBase
+from ..core.signatures import SIG_ENTRIES, pc_signature
+
+
+class SHCT:
+    """Signature History Counter Table: saturating reuse counters."""
+
+    def __init__(self, entries: int = SIG_ENTRIES, bits: int = 3,
+                 initial: int = 1) -> None:
+        self.max_value = (1 << bits) - 1
+        if not 0 <= initial <= self.max_value:
+            raise ValueError("initial out of counter range")
+        self.entries = entries
+        self._table = [initial] * entries
+
+    def __getitem__(self, sig: int) -> int:
+        return self._table[sig % self.entries]
+
+    def increment(self, sig: int) -> None:
+        i = sig % self.entries
+        if self._table[i] < self.max_value:
+            self._table[i] += 1
+
+    def decrement(self, sig: int) -> None:
+        i = sig % self.entries
+        if self._table[i] > 0:
+            self._table[i] -= 1
+
+    @property
+    def saturated_max(self) -> int:
+        return self.max_value
+
+
+@register("ship")
+class SHiPPolicy(RRIPBase):
+    """Original SHiP-PC on top of 2-bit SRRIP."""
+
+    #: distinguish prefetch accesses in the signature (SHiP++/CARE refinement)
+    prefetch_aware_signature = False
+
+    def __init__(self, sets: int, ways: int, seed: int = 0,
+                 rrpv_bits: int = 2, sampled_target: int = 64) -> None:
+        super().__init__(sets, ways, seed, rrpv_bits)
+        self.shct = SHCT()
+        self.sampled = choose_sampled_sets(sets, sampled_target)
+        # Per-block learning metadata, kept only for sampled sets.
+        self._sig: Dict[int, List[int]] = {
+            s: [0] * ways for s in self.sampled}
+        self._reused: Dict[int, List[bool]] = {
+            s: [False] * ways for s in self.sampled}
+
+    # ------------------------------------------------------------------
+    def signature(self, access: PolicyAccess) -> int:
+        prefetch = access.prefetch if self.prefetch_aware_signature else False
+        return pc_signature(access.pc, prefetch)
+
+    # ------------------------------------------------------------------
+    def on_hit(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        if access.is_writeback:
+            return
+        self.rrpv[set_idx][way] = 0
+        if set_idx in self.sampled and not self._reused[set_idx][way]:
+            self._reused[set_idx][way] = True
+            self.shct.increment(self._sig[set_idx][way])
+
+    def on_evict(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        if set_idx in self.sampled and not self._reused[set_idx][way]:
+            self.shct.decrement(self._sig[set_idx][way])
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        sig = self.signature(access)
+        self.rrpv[set_idx][way] = self.insertion_rrpv(access, sig)
+        if set_idx in self.sampled:
+            self._sig[set_idx][way] = sig
+            self._reused[set_idx][way] = False
+
+    # ------------------------------------------------------------------
+    def insertion_rrpv(self, access: PolicyAccess, sig: int) -> int:
+        """SHiP rule: dead-on-arrival signatures insert at distant RRPV."""
+        if access.is_writeback:
+            return self.rrpv_max
+        if self.shct[sig] == 0:
+            return self.rrpv_max
+        return self.rrpv_max - 1

@@ -1,0 +1,54 @@
+"""SHiP++ (Young et al., CRC-2 2017) — the scheme CARE directly extends.
+
+Enhancements over SHiP implemented here, following the CRC-2 write-up the
+paper cites:
+
+* prefetch-aware signatures (a prefetch bit is appended to the PC hash) so
+  demand and prefetch behavior train separately,
+* writebacks insert at distant RRPV and never train the SHCT,
+* strongly-reused signatures (saturated SHCT) insert at RRPV 0 instead of
+  the SRRIP "long" position,
+* prefetch fills insert at distant RRPV unless their signature has proven
+  reuse,
+* only the first demand re-reference of a block trains the SHCT (+1), and
+  a prefetched block that is hit by its first demand access is re-marked so
+  a single prefetch-then-use pair does not look like heavy reuse.
+"""
+
+from __future__ import annotations
+
+from .base import PolicyAccess
+from .registry import register
+from .ship import SHiPPolicy
+from ..sim.request import AccessType
+
+
+@register("shippp")
+class SHiPPPPolicy(SHiPPolicy):
+    """SHiP++ ("SHiP plus plus")."""
+
+    prefetch_aware_signature = True
+
+    def insertion_rrpv(self, access: PolicyAccess, sig: int) -> int:
+        if access.is_writeback:
+            return self.rrpv_max
+        counter = self.shct[sig]
+        if access.prefetch:
+            # Prefetch fill: dead prefetch signatures insert distant, the
+            # rest at the SRRIP "long" position so timely prefetches
+            # survive until their demand arrives.
+            return self.rrpv_max if counter == 0 else self.rrpv_max - 1
+        if counter == 0:
+            return self.rrpv_max
+        if counter >= self.shct.max_value:
+            return 0
+        return self.rrpv_max - 1
+
+    def on_hit(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        if access.is_writeback:
+            return
+        if access.rtype == AccessType.PREFETCH and access.prefetch:
+            # Prefetch request hitting a still-unreferenced prefetched block:
+            # not a real reuse signal; leave RRPV and training alone.
+            return
+        super().on_hit(set_idx, way, blocks, access)

@@ -1,0 +1,65 @@
+"""SRRIP — Static Re-Reference Interval Prediction (Jaleel et al., ISCA'10).
+
+The 2-bit RRPV scheme the paper cites as the foundation of SHiP/SHiP++ and
+therefore of CARE's own EPV machinery: insert at "long" re-reference interval
+(RRPV = max-1), promote to 0 on hit, evict any block at RRPV max (aging the
+whole set until one exists).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import PolicyAccess, ReplacementPolicy
+from .registry import register
+
+
+class RRIPBase(ReplacementPolicy):
+    """Shared RRPV array + victim-search used by the whole RRIP family."""
+
+    def __init__(self, sets: int, ways: int, seed: int = 0,
+                 rrpv_bits: int = 2) -> None:
+        super().__init__(sets, ways, seed)
+        self.rrpv_max = (1 << rrpv_bits) - 1
+        self.rrpv: List[List[int]] = [
+            [self.rrpv_max] * ways for _ in range(sets)
+        ]
+
+    def find_victim(self, set_idx: int, blocks, access: PolicyAccess) -> int:
+        """Evict the first block at RRPV max, aging the set as needed."""
+        rrpv = self.rrpv[set_idx]
+        while True:
+            for way in range(self.ways):
+                if rrpv[way] >= self.rrpv_max:
+                    return way
+            for way in range(self.ways):
+                rrpv[way] += 1
+
+    def on_hit(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        self.rrpv[set_idx][way] = 0
+
+
+@register("srrip")
+class SRRIPPolicy(RRIPBase):
+    """Static insertion at RRPV = max-1 ("long" interval)."""
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        self.rrpv[set_idx][way] = self.rrpv_max - 1
+
+
+@register("brrip")
+class BRRIPPolicy(RRIPBase):
+    """Bimodal insertion: distant (max) most of the time, long occasionally.
+
+    The thrash-resistant component of DRRIP."""
+
+    def __init__(self, sets: int, ways: int, seed: int = 0,
+                 rrpv_bits: int = 2, long_probability: float = 1 / 32) -> None:
+        super().__init__(sets, ways, seed, rrpv_bits)
+        self.long_probability = long_probability
+
+    def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
+        if self.rng.random() < self.long_probability:
+            self.rrpv[set_idx][way] = self.rrpv_max - 1
+        else:
+            self.rrpv[set_idx][way] = self.rrpv_max

@@ -1,0 +1,7 @@
+"""Hardware prefetchers (CRC-2 methodology: next-line at L1, IP-stride at L2)."""
+
+from .base import Prefetcher
+from .nextline import NextLinePrefetcher
+from .ip_stride import IPStridePrefetcher
+
+__all__ = ["Prefetcher", "NextLinePrefetcher", "IPStridePrefetcher"]

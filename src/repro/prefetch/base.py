@@ -1,0 +1,27 @@
+"""Prefetcher interface.
+
+A prefetcher is trained on every demand access at its cache level and
+returns a list of byte addresses to prefetch into that level.  The cache
+filters candidates that are already present or in flight and issues the rest
+as :class:`~repro.sim.request.AccessType.PREFETCH` requests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.request import MemRequest
+
+
+class Prefetcher:
+    """Base class.  Subclasses implement :meth:`train`."""
+
+    name = "none"
+
+    def __init__(self) -> None:
+        self.issued = 0       # maintained by the cache when it sends one out
+        self.trained = 0
+
+    def train(self, req: MemRequest, hit: bool) -> List[int]:
+        """Observe a demand access; return prefetch candidate addresses."""
+        raise NotImplementedError

@@ -1,0 +1,75 @@
+"""IP-stride prefetcher (the paper's L2 prefetcher, per CRC-2).
+
+Classic per-PC stride detection: a small direct-mapped table tracks, for each
+instruction pointer, the last block address and last observed stride with a
+saturating confidence counter.  Once the same stride repeats, the prefetcher
+runs ``degree`` strides ahead.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.config import BLOCK_SIZE
+from ..sim.request import MemRequest
+from .base import Prefetcher
+
+
+class _Entry:
+    __slots__ = ("pc", "last_block", "stride", "confidence")
+
+    def __init__(self) -> None:
+        self.pc = -1
+        self.last_block = -1
+        self.stride = 0
+        self.confidence = 0
+
+
+class IPStridePrefetcher(Prefetcher):
+    name = "ip_stride"
+
+    def __init__(self, table_size: int = 64, degree: int = 4,
+                 threshold: int = 2, max_confidence: int = 3) -> None:
+        super().__init__()
+        if table_size < 1 or degree < 1:
+            raise ValueError("invalid IP-stride parameters")
+        self.table = [_Entry() for _ in range(table_size)]
+        self.table_size = table_size
+        self.degree = degree
+        self.threshold = threshold
+        self.max_confidence = max_confidence
+
+    def train(self, req: MemRequest, hit: bool) -> List[int]:
+        self.trained += 1
+        block = req.addr // BLOCK_SIZE
+        entry = self.table[req.pc % self.table_size]
+
+        if entry.pc != req.pc:
+            # Table conflict: take over the entry, no prediction yet.
+            entry.pc = req.pc
+            entry.last_block = block
+            entry.stride = 0
+            entry.confidence = 0
+            return []
+
+        stride = block - entry.last_block
+        entry.last_block = block
+        if stride == 0:
+            return []                   # same block; nothing learned
+
+        if stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, self.max_confidence)
+        else:
+            entry.confidence -= 1
+            if entry.confidence <= 0:
+                entry.stride = stride
+                entry.confidence = 1
+            return []
+
+        if entry.confidence < self.threshold:
+            return []
+        return [
+            (block + i * entry.stride) * BLOCK_SIZE
+            for i in range(1, self.degree + 1)
+            if block + i * entry.stride > 0
+        ]

@@ -1,0 +1,26 @@
+"""Next-line prefetcher (the paper's L1 prefetcher, per CRC-2)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.config import BLOCK_SIZE
+from ..sim.request import MemRequest
+from .base import Prefetcher
+
+
+class NextLinePrefetcher(Prefetcher):
+    """On every demand access to block B, prefetch block B+1."""
+
+    name = "next_line"
+
+    def __init__(self, degree: int = 1) -> None:
+        super().__init__()
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+
+    def train(self, req: MemRequest, hit: bool) -> List[int]:
+        self.trained += 1
+        base = (req.addr // BLOCK_SIZE) * BLOCK_SIZE
+        return [base + i * BLOCK_SIZE for i in range(1, self.degree + 1)]

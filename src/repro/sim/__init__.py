@@ -1,0 +1,25 @@
+"""Trace-driven multi-core cache-hierarchy simulator (the ChampSim substrate)."""
+
+from .config import (
+    BLOCK_BITS,
+    BLOCK_SIZE,
+    CacheConfig,
+    CoreConfig,
+    DRAMConfig,
+    SystemConfig,
+)
+from .engine import Engine, EngineError
+from .request import AccessType, MemRequest
+from .mshr import MSHR, MSHREntry
+from .cache import Cache, CacheBlock, CacheStats
+from .dram import DRAM, DRAMStats
+from .cpu import Core
+from .stats import SimResult
+from .system import System, simulate
+
+__all__ = [
+    "BLOCK_BITS", "BLOCK_SIZE", "CacheConfig", "CoreConfig", "DRAMConfig",
+    "SystemConfig", "Engine", "EngineError", "AccessType", "MemRequest",
+    "MSHR", "MSHREntry", "Cache", "CacheBlock", "CacheStats", "DRAM",
+    "DRAMStats", "Core", "SimResult", "System", "simulate",
+]

@@ -1,0 +1,391 @@
+"""Non-blocking set-associative cache model.
+
+Each cache level is write-back / write-allocate with a fixed base (tag+data)
+latency and an MSHR file for outstanding misses, following the paper's
+Table VII organization.  The model supports:
+
+* miss merging (secondary misses attach to the existing MSHR entry),
+* MSHR back-pressure (requests queue when the file is full),
+* dirty-victim writebacks to the next level,
+* writeback allocation without fetch (a writeback that misses installs the
+  block directly — the whole line is being written),
+* prefetch requests, with ChampSim-style promotion when a demand merges
+  under a prefetch-initiated miss,
+* an optional :class:`~repro.core.pmc.ConcurrencyMonitor` (the paper's PML)
+  that observes base/miss phases and stamps each served miss with its PMC
+  and MLP-based cost.
+
+The replacement policy is fully pluggable via
+:class:`repro.policies.base.ReplacementPolicy`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from .config import BLOCK_BITS, CacheConfig
+from .engine import Engine
+from .mshr import MSHR, MSHREntry
+from .request import AccessType, MemRequest
+from ..policies.base import PolicyAccess
+
+
+class CacheBlock:
+    """Tag-store entry.  Policy-private metadata lives inside the policy."""
+
+    __slots__ = ("valid", "tag", "dirty", "prefetch", "core", "pc")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.tag = -1
+        self.dirty = False
+        self.prefetch = False    # filled by a prefetch, not yet demanded
+        self.core = -1
+        self.pc = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheBlock(valid={self.valid}, tag={self.tag:#x}, "
+                f"dirty={self.dirty}, prefetch={self.prefetch})")
+
+
+@dataclass
+class CacheStats:
+    """Per-level counters, split by access type where it matters."""
+
+    accesses: Dict[AccessType, int] = field(
+        default_factory=lambda: {t: 0 for t in AccessType})
+    hits: Dict[AccessType, int] = field(
+        default_factory=lambda: {t: 0 for t in AccessType})
+    misses: Dict[AccessType, int] = field(
+        default_factory=lambda: {t: 0 for t in AccessType})
+    mshr_merges: int = 0
+    mshr_stalls: int = 0          # requests that had to queue for an MSHR
+    invalidations: int = 0        # inclusive back-invalidations received
+    late_hits: int = 0            # queued requests satisfied before retry
+    evictions: int = 0
+    writebacks_out: int = 0
+    prefetch_fills: int = 0
+    prefetch_useful: int = 0      # demand hits on a prefetched block
+    prefetch_promoted: int = 0    # demand merged under a prefetch miss
+    demand_misses_by_core: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(self.accesses.values())
+
+    @property
+    def demand_accesses(self) -> int:
+        return self.accesses[AccessType.LOAD] + self.accesses[AccessType.RFO]
+
+    @property
+    def demand_hits(self) -> int:
+        return self.hits[AccessType.LOAD] + self.hits[AccessType.RFO]
+
+    @property
+    def demand_misses(self) -> int:
+        return self.misses[AccessType.LOAD] + self.misses[AccessType.RFO]
+
+    @property
+    def demand_miss_rate(self) -> float:
+        n = self.demand_accesses
+        return self.demand_misses / n if n else 0.0
+
+
+class Cache:
+    """One cache level wired to a lower level (another cache or DRAM)."""
+
+    def __init__(self, cfg: CacheConfig, engine: Engine, policy,
+                 lower=None, monitor=None, prefetcher=None,
+                 inclusive: bool = False) -> None:
+        self.cfg = cfg
+        self.name = cfg.name
+        self.engine = engine
+        self.policy = policy
+        self.lower = lower
+        self.monitor = monitor
+        self.prefetcher = prefetcher
+        #: inclusive mode: evictions back-invalidate the upper levels
+        self.inclusive = inclusive
+        self.upper_levels: List["Cache"] = []
+        # Optional core-instruction counter, wired by the System: lets
+        # cost-based policies (LACS) see instructions issued during a miss.
+        self.instr_counter = None
+        self.stats = CacheStats()
+
+        self._set_mask = cfg.sets - 1
+        self._set_bits = cfg.sets.bit_length() - 1
+        self._sets: List[List[CacheBlock]] = [
+            [CacheBlock() for _ in range(cfg.ways)] for _ in range(cfg.sets)
+        ]
+        self.mshr = MSHR(cfg.mshr_entries)
+        self._pending: Deque[MemRequest] = deque()
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def set_index(self, block: int) -> int:
+        return block & self._set_mask
+
+    def tag_of(self, block: int) -> int:
+        return block >> self._set_bits
+
+    def block_addr(self, set_idx: int, tag: int) -> int:
+        return ((tag << self._set_bits) | set_idx) << BLOCK_BITS
+
+    def _find_way(self, set_idx: int, tag: int) -> int:
+        for way, blk in enumerate(self._sets[set_idx]):
+            if blk.valid and blk.tag == tag:
+                return way
+        return -1
+
+    def probe(self, addr: int) -> bool:
+        """Non-intrusive presence check (used by prefetch filtering/tests)."""
+        block = addr >> BLOCK_BITS
+        return self._find_way(self.set_index(block), self.tag_of(block)) >= 0
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop ``addr``'s block if present (inclusive back-invalidation).
+
+        Returns whether the dropped copy was dirty, so the caller can merge
+        that state into its own eviction writeback.
+        """
+        block = addr >> BLOCK_BITS
+        set_idx = self.set_index(block)
+        way = self._find_way(set_idx, self.tag_of(block))
+        if way < 0:
+            return False
+        blk = self._sets[set_idx][way]
+        was_dirty = blk.dirty
+        blk.valid = False
+        blk.dirty = False
+        self.stats.invalidations += 1
+        return was_dirty
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def access(self, req: MemRequest) -> None:
+        """Entry point: an access arrives at this level now."""
+        now = self.engine.now
+        self.stats.accesses[req.rtype] += 1
+        if self.monitor is not None:
+            self.monitor.on_access(req.core, now, demand=req.rtype.is_demand)
+        self.engine.after(self.cfg.latency, self._lookup, req)
+
+    def _lookup(self, req: MemRequest) -> None:
+        now = self.engine.now
+        block = req.block
+        set_idx = self.set_index(block)
+        tag = self.tag_of(block)
+        way = self._find_way(set_idx, tag)
+
+        if way >= 0:
+            self._handle_hit(req, set_idx, way)
+        else:
+            self.stats.misses[req.rtype] += 1
+            if req.rtype.is_demand:
+                by_core = self.stats.demand_misses_by_core
+                by_core[req.core] = by_core.get(req.core, 0) + 1
+            if req.rtype == AccessType.WRITEBACK:
+                # Write-allocate without fetch: the full line is incoming.
+                self._install(req, dirty=True, entry=None)
+            else:
+                self._handle_miss(req)
+
+        if self.prefetcher is not None and req.rtype.is_demand:
+            self._train_prefetcher(req, hit=(way >= 0))
+
+    def _handle_hit(self, req: MemRequest, set_idx: int, way: int) -> None:
+        now = self.engine.now
+        blk = self._sets[set_idx][way]
+        self.stats.hits[req.rtype] += 1
+        if self.monitor is not None:
+            self.monitor.on_hit_observed(req.core, now)
+        access = PolicyAccess(
+            pc=req.pc, addr=req.addr, core=req.core, rtype=req.rtype,
+            prefetch=blk.prefetch,
+        )
+        if req.rtype == AccessType.WRITEBACK:
+            blk.dirty = True
+            self.policy.on_hit(set_idx, way, self._sets[set_idx], access)
+            return
+        if blk.prefetch and req.rtype.is_demand:
+            self.stats.prefetch_useful += 1
+        self.policy.on_hit(set_idx, way, self._sets[set_idx], access)
+        if req.rtype.is_demand:
+            blk.prefetch = False      # block has now been demanded
+            if req.rtype == AccessType.RFO:
+                blk.dirty = True
+        req.respond(now, served_by=self.name)
+
+    def _handle_miss(self, req: MemRequest) -> None:
+        now = self.engine.now
+        block = req.block
+        entry = self.mshr.lookup(block)
+        if entry is not None:
+            was_prefetch_only = entry.prefetch_only
+            self.mshr.merge(block, req)
+            self.stats.mshr_merges += 1
+            if was_prefetch_only and not entry.prefetch_only:
+                self.stats.prefetch_promoted += 1
+            return
+        if self.mshr.full:
+            self.stats.mshr_stalls += 1
+            self._pending.append(req)
+            return
+        self._start_miss(req)
+
+    def _start_miss(self, req: MemRequest) -> None:
+        now = self.engine.now
+        entry = self.mshr.allocate(req, now)
+        if self.instr_counter is not None:
+            entry.instr_at_issue = self.instr_counter(req.core)
+        if self.monitor is not None:
+            self.monitor.on_miss_start(req.core, now, entry)
+        if self.lower is None:
+            raise RuntimeError(f"{self.name}: miss with no lower level")
+        child = req.child(created=now,
+                          callback=lambda r, t, e=entry: self._fill(e, r))
+        self.lower.access(child)
+
+    # ------------------------------------------------------------------
+    # Fill path
+    # ------------------------------------------------------------------
+    def _fill(self, entry: MSHREntry, child: MemRequest) -> None:
+        now = self.engine.now
+        if self.monitor is not None:
+            self.monitor.on_miss_end(entry.core, now, entry)
+        self._install(entry.primary, dirty=entry.has_rfo, entry=entry)
+        served = child.served_by or (self.lower.name if self.lower else "")
+        for waiter in entry.waiters:
+            waiter.respond(now, served_by=served)
+        self.mshr.free(entry.block)
+        self._retry_pending()
+
+    def _install(self, req: MemRequest, dirty: bool,
+                 entry: Optional[MSHREntry]) -> None:
+        """Place ``req``'s block into the array, evicting if needed."""
+        block = req.block
+        set_idx = self.set_index(block)
+        tag = self.tag_of(block)
+        blocks = self._sets[set_idx]
+        prefetch_fill = entry.prefetch_only if entry is not None else False
+
+        instr_during = 0
+        if entry is not None and self.instr_counter is not None:
+            instr_during = self.instr_counter(req.core) - entry.instr_at_issue
+        fill_access = PolicyAccess(
+            pc=req.pc, addr=req.addr, core=req.core, rtype=req.rtype,
+            prefetch=prefetch_fill,
+            pmc=entry.pmc if entry is not None else 0.0,
+            mlp_cost=entry.mlp_cost if entry is not None else 0.0,
+            was_pure=entry.is_pure if entry is not None else False,
+            instr_during_miss=instr_during,
+        )
+
+        way = -1
+        for w, blk in enumerate(blocks):
+            if not blk.valid:
+                way = w
+                break
+        if way < 0:
+            way = self.policy.check_way(
+                self.policy.find_victim(set_idx, blocks, fill_access))
+            victim = blocks[way]
+            self.policy.on_evict(set_idx, way, blocks, fill_access)
+            self.stats.evictions += 1
+            victim_dirty = victim.dirty
+            if self.inclusive and self.upper_levels:
+                victim_addr = self.block_addr(set_idx, victim.tag)
+                for upper in self.upper_levels:
+                    # An upper-level dirty copy is newer than ours: its
+                    # data must reach memory with the eviction.
+                    victim_dirty |= upper.invalidate(victim_addr)
+            if victim_dirty:
+                self._writeback(set_idx, victim)
+
+        blk = blocks[way]
+        blk.valid = True
+        blk.tag = tag
+        blk.dirty = dirty
+        blk.prefetch = prefetch_fill
+        blk.core = req.core
+        blk.pc = req.pc
+        if prefetch_fill:
+            self.stats.prefetch_fills += 1
+        self.policy.on_fill(set_idx, way, blocks, fill_access)
+
+    def _writeback(self, set_idx: int, victim: CacheBlock) -> None:
+        if self.lower is None:
+            return                      # memory-side victim: nothing below
+        self.stats.writebacks_out += 1
+        wb = MemRequest(
+            addr=self.block_addr(set_idx, victim.tag),
+            pc=victim.pc, core=victim.core,
+            rtype=AccessType.WRITEBACK, created=self.engine.now,
+        )
+        # Writebacks leave this cache's port immediately; the lower level
+        # accounts for its own latency and bandwidth.
+        self.lower.access(wb)
+
+    def _retry_pending(self) -> None:
+        """Admit queued requests as MSHR slots free up."""
+        while self._pending and not self.mshr.full:
+            req = self._pending.popleft()
+            block = req.block
+            way = self._find_way(self.set_index(block), self.tag_of(block))
+            if way >= 0:
+                # Another miss to the same block filled while we waited.
+                self.stats.late_hits += 1
+                req.respond(self.engine.now, served_by=self.name)
+                continue
+            entry = self.mshr.lookup(block)
+            if entry is not None:
+                self.mshr.merge(block, req)
+                self.stats.mshr_merges += 1
+                continue
+            self._start_miss(req)
+
+    # ------------------------------------------------------------------
+    # Prefetching
+    # ------------------------------------------------------------------
+    def _train_prefetcher(self, req: MemRequest, hit: bool) -> None:
+        candidates = self.prefetcher.train(req, hit)
+        for addr in candidates:
+            self._issue_prefetch(addr, req)
+
+    def _issue_prefetch(self, addr: int, trigger: MemRequest) -> None:
+        if addr < 0:
+            return
+        block = addr >> BLOCK_BITS
+        if self._find_way(self.set_index(block), self.tag_of(block)) >= 0:
+            return                      # already cached
+        if self.mshr.lookup(block) is not None:
+            return                      # already in flight
+        if self.mshr.full or self._pending:
+            return                      # don't let prefetches add pressure
+        preq = MemRequest(
+            addr=addr, pc=trigger.pc, core=trigger.core,
+            rtype=AccessType.PREFETCH, created=self.engine.now,
+        )
+        self.prefetcher.issued += 1
+        self.access(preq)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, debugging)
+    # ------------------------------------------------------------------
+    def blocks_in_set(self, set_idx: int) -> List[CacheBlock]:
+        return self._sets[set_idx]
+
+    def valid_blocks(self) -> int:
+        return sum(1 for s in self._sets for b in s if b.valid)
+
+    def assert_no_duplicates(self) -> None:
+        """Invariant: a block address appears at most once in its set."""
+        for set_idx, blocks in enumerate(self._sets):
+            tags = [b.tag for b in blocks if b.valid]
+            if len(tags) != len(set(tags)):
+                raise AssertionError(
+                    f"{self.name}: duplicate tags in set {set_idx}: {tags}")

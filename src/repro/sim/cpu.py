@@ -1,0 +1,198 @@
+"""Core front-end / ROB model.
+
+The paper's cores are 8-issue out-of-order with a 256-entry ROB (Table VII).
+For a last-level-cache study, what the core model must get right is the
+*shape of memory concurrency*: how many misses a core keeps outstanding, and
+how much compute is available to overlap them.  We model:
+
+* a trace of records ``(pc, addr, is_write, gap)`` where ``gap`` counts the
+  non-memory instructions preceding the access,
+* an issue-width-limited front end: dispatching a record's ``gap + 1``
+  instructions advances a fractional front-end clock by ``(gap+1)/width``,
+* a ROB occupancy window in instruction slots with in-order retirement:
+  a record's slots are claimed at dispatch and released when the record and
+  all older records have completed,
+* non-blocking memory: loads/stores issue to L1D when they pass the front
+  end and complete whenever the hierarchy responds.
+
+Following the paper's methodology ("we warm up each core using 50M
+instructions ... then run simulation over the next 200M instructions"),
+each core first retires ``warmup_records`` records unmeasured; IPC is then
+measured over the next ``measure_records`` records.  After a core finishes
+its measured region it keeps replaying its trace to maintain pressure on
+shared resources until every core has finished (the CRC-2/DPC-3 multi-core
+methodology the paper follows).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Optional, Sequence
+
+from .config import CoreConfig
+from .engine import Engine
+from .request import AccessType, MemRequest
+
+
+class _RobEntry:
+    __slots__ = ("slots", "done", "measured", "deferred")
+
+    def __init__(self, slots: int, measured: bool) -> None:
+        self.slots = slots
+        self.done = False
+        self.measured = measured
+        self.deferred = None     # requests address-dependent on this one
+
+
+class Core:
+    """One core consuming a memory-access trace."""
+
+    def __init__(self, core_id: int, engine: Engine, l1,
+                 records: Sequence, cfg: CoreConfig,
+                 measure_records: Optional[int] = None,
+                 warmup_records: int = 0,
+                 replay: bool = True,
+                 start_offset: int = 0,
+                 on_finish: Optional[Callable[["Core"], None]] = None,
+                 on_warm: Optional[Callable[["Core"], None]] = None) -> None:
+        self.core_id = core_id
+        self.engine = engine
+        self.l1 = l1
+        self.records = records
+        self.cfg = cfg
+        self.measure_records = (
+            len(records) if measure_records is None else measure_records)
+        self.warmup_records = warmup_records
+        self.replay = replay
+        self.start_offset = start_offset
+        self.on_finish = on_finish
+        self.on_warm = on_warm
+
+        self._idx = 0
+        self._rob: Deque[_RobEntry] = deque()
+        self._prev_entry: Optional[_RobEntry] = None
+        self._rob_occ = 0
+        self._front_time: float = float(start_offset)
+        self._stopped = False
+
+        # Measurement ----------------------------------------------------
+        self.dispatched_instructions = 0
+        self.dispatched_records = 0
+        self.retired_records = 0            # total, warmup included
+        self.retired_instructions = 0       # measured region only
+        self.warm = warmup_records == 0
+        self.measure_start_time = start_offset
+        self.finished = False
+        self.finish_time = 0
+
+        if self.measure_records == 0 or not records:
+            self.finished = True
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first dispatch (called by the System)."""
+        if self.finished:
+            if self.on_finish is not None:
+                self.on_finish(self)
+            return
+        self.engine.at(self.start_offset, self._dispatch)
+
+    def stop(self) -> None:
+        """Stop dispatching new work (all cores' measured regions done)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        """IPC over the measured region (valid once ``finished``)."""
+        cycles = self.finish_time - self.measure_start_time
+        return self.retired_instructions / cycles if cycles > 0 else 0.0
+
+    @property
+    def measured_cycles(self) -> int:
+        return self.finish_time - self.measure_start_time
+
+    # ------------------------------------------------------------------
+    def _next_record(self):
+        if self._idx >= len(self.records):
+            if not self.replay:
+                return None
+            self._idx = 0
+        return self.records[self._idx]
+
+    def _dispatch(self) -> None:
+        """Consume records while the ROB has room, pacing the front end."""
+        if self._stopped:
+            return
+        now = self.engine.now
+        width = self.cfg.issue_width
+        measure_end = self.warmup_records + self.measure_records
+        while True:
+            if self.dispatched_records >= measure_end and not self.replay:
+                return
+            rec = self._next_record()
+            if rec is None:
+                return
+            slots = rec.gap + 1
+            if self._rob_occ + slots > self.cfg.rob_entries:
+                return                  # retirement will re-trigger dispatch
+            self._idx += 1
+            measured = (self.warmup_records
+                        <= self.dispatched_records < measure_end)
+            self.dispatched_records += 1
+            self.dispatched_instructions += slots
+            self._rob_occ += slots
+            entry = _RobEntry(slots, measured)
+            self._rob.append(entry)
+            self._front_time = max(self._front_time, float(now)) + slots / width
+            issue_cycle = max(now, int(math.ceil(self._front_time)))
+            rtype = AccessType.RFO if rec.is_write else AccessType.LOAD
+            req = MemRequest(
+                addr=rec.addr, pc=rec.pc, core=self.core_id, rtype=rtype,
+                created=issue_cycle,
+                callback=lambda r, t, e=entry: self._complete(e),
+            )
+            prev = self._prev_entry
+            self._prev_entry = entry
+            if getattr(rec, "dep", False) and prev is not None and not prev.done:
+                # Address-dependent load: the pointer value arrives only
+                # when the previous access completes; hold the issue.
+                if prev.deferred is None:
+                    prev.deferred = []
+                prev.deferred.append(req)
+            elif issue_cycle > now:
+                self.engine.at(issue_cycle, self.l1.access, req)
+            else:
+                self.l1.access(req)
+
+    def _complete(self, entry: _RobEntry) -> None:
+        entry.done = True
+        if entry.deferred:
+            for req in entry.deferred:
+                self.l1.access(req)
+            entry.deferred = None
+        self._retire()
+        self._dispatch()
+
+    def _retire(self) -> None:
+        now = self.engine.now
+        while self._rob and self._rob[0].done:
+            entry = self._rob.popleft()
+            self._rob_occ -= entry.slots
+            self.retired_records += 1
+            if not self.warm:
+                if self.retired_records >= self.warmup_records:
+                    self.warm = True
+                    self.measure_start_time = now
+                    if self.on_warm is not None:
+                        self.on_warm(self)
+                continue
+            if entry.measured and not self.finished:
+                self.retired_instructions += entry.slots
+                if (self.retired_records
+                        >= self.warmup_records + self.measure_records):
+                    self.finished = True
+                    self.finish_time = now
+                    if self.on_finish is not None:
+                        self.on_finish(self)

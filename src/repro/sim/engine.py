@@ -1,0 +1,88 @@
+"""Discrete-event simulation kernel.
+
+The whole hierarchy simulator is built on a single deterministic event heap.
+Events are ``(time, sequence, callable, args)`` tuples; the monotonically
+increasing sequence number makes same-cycle events fire in scheduling order,
+which keeps runs bit-reproducible for a given seed.
+
+Times are integer cycles throughout the simulator.  Components that need
+sub-cycle pacing (the core front end) keep their own fractional accumulators
+and only ever schedule on whole cycles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class EngineError(RuntimeError):
+    """Raised on scheduling misuse (e.g. scheduling into the past)."""
+
+
+class Engine:
+    """Deterministic discrete-event engine with integer-cycle time."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[Tuple[int, int, Callable[..., None], Tuple[Any, ...]]] = []
+        self._seq: int = 0
+        self._stopped: bool = False
+        self.events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: int, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute cycle ``time``."""
+        time = int(time)
+        if time < self.now:
+            raise EngineError(
+                f"cannot schedule event at {time} (now={self.now})"
+            )
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+        self._seq += 1
+
+    def after(self, delay: int, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` ``delay`` cycles from now (``delay >= 0``)."""
+        if delay < 0:
+            raise EngineError(f"negative delay {delay}")
+        self.at(self.now + int(delay), fn, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Process one event.  Returns ``False`` when the heap is empty."""
+        if not self._heap:
+            return False
+        time, _seq, fn, args = heapq.heappop(self._heap)
+        self.now = time
+        self.events_processed += 1
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the heap drains, ``stop()`` is called, ``until`` cycles
+        pass, or ``max_events`` events fire.  Returns events processed.
+        """
+        self._stopped = False
+        processed = 0
+        while self._heap and not self._stopped:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        return processed

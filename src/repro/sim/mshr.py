@@ -1,0 +1,106 @@
+"""Miss Status Holding Registers.
+
+The MSHR tracks every outstanding miss of a cache, merges secondary misses to
+the same block, and applies back-pressure when full.  As in the paper
+(Section IV-B), each entry carries a ``pmc`` accumulator that the PMC
+Measurement Logic updates during active pure miss cycles, plus the analogous
+``mlp_cost`` accumulator used by SBAR / M-CARE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .request import AccessType, MemRequest
+
+
+@dataclass(eq=False)  # identity semantics: entries live in monitor sets
+class MSHREntry:
+    """One outstanding miss (one block) and everything merged into it."""
+
+    block: int
+    primary: MemRequest
+    issue_time: int
+    core: int
+    waiters: List[MemRequest] = field(default_factory=list)
+
+    # --- concurrency bookkeeping (updated by the ConcurrencyMonitor) ------
+    pmc: float = 0.0             # pure miss contribution accumulated so far
+    mlp_cost: float = 0.0        # MLP-based cost accumulated so far
+    is_pure: bool = False        # had >=1 pure miss cycle
+    hit_miss_overlap: bool = False  # >=1 miss cycle hidden under base cycles
+
+    # --- provenance -------------------------------------------------------
+    prefetch_only: bool = True   # no demand request merged in yet
+    instr_at_issue: int = 0      # core's instruction count when miss issued
+
+    def __post_init__(self) -> None:
+        self.waiters.append(self.primary)
+        if self.primary.rtype != AccessType.PREFETCH:
+            self.prefetch_only = False
+
+    def merge(self, req: MemRequest) -> None:
+        """Attach a secondary miss to this entry."""
+        self.waiters.append(req)
+        if req.rtype != AccessType.PREFETCH:
+            # A demand merged under a prefetch-initiated miss: the block is
+            # no longer a pure prefetch (ChampSim's prefetch promotion).
+            self.prefetch_only = False
+
+    @property
+    def has_rfo(self) -> bool:
+        return any(w.rtype == AccessType.RFO for w in self.waiters)
+
+
+class MSHR:
+    """Fixed-capacity MSHR file for one cache."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("MSHR capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Dict[int, MSHREntry] = {}
+        # peak occupancy / merge statistics
+        self.peak_occupancy = 0
+        self.merges = 0
+        self.allocations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, block: int) -> Optional[MSHREntry]:
+        return self._entries.get(block)
+
+    def allocate(self, req: MemRequest, time: int) -> MSHREntry:
+        """Allocate a new entry for ``req``'s block.  Caller checks ``full``."""
+        if self.full:
+            raise RuntimeError("MSHR allocate on full file")
+        if req.block in self._entries:
+            raise RuntimeError(f"duplicate MSHR allocation for block {req.block:#x}")
+        entry = MSHREntry(block=req.block, primary=req, issue_time=time, core=req.core)
+        self._entries[req.block] = entry
+        self.allocations += 1
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
+        return entry
+
+    def merge(self, block: int, req: MemRequest) -> MSHREntry:
+        entry = self._entries[block]
+        entry.merge(req)
+        self.merges += 1
+        return entry
+
+    def free(self, block: int) -> MSHREntry:
+        return self._entries.pop(block)
+
+    def outstanding_for_core(self, core: int) -> int:
+        """N_x in Algorithm 1: outstanding misses from ``core`` at this level."""
+        return sum(1 for e in self._entries.values() if e.core == core)
+
+    def entries_for_core(self, core: int) -> List[MSHREntry]:
+        return [e for e in self._entries.values() if e.core == core]

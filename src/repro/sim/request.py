@@ -1,0 +1,93 @@
+"""Memory request objects flowing through the hierarchy.
+
+A core emits one :class:`MemRequest` per trace record; each cache level that
+misses creates a *child* request toward the next level, wiring its own fill
+handler as the child's callback.  Completion information that replacement
+policies consume (the measured PMC / MLP-based cost of the miss, prefetch and
+writeback provenance) is carried on the request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Callable, Optional
+
+from .config import BLOCK_BITS
+
+
+class AccessType(IntEnum):
+    """Request classes, mirroring ChampSim's demand/RFO/prefetch/writeback."""
+
+    LOAD = 0
+    RFO = 1          # store miss fetch (read-for-ownership)
+    PREFETCH = 2
+    WRITEBACK = 3
+
+    @property
+    def is_demand(self) -> bool:
+        return self in (AccessType.LOAD, AccessType.RFO)
+
+
+_next_request_id = 0
+
+
+def _take_request_id() -> int:
+    global _next_request_id
+    _next_request_id += 1
+    return _next_request_id
+
+
+@dataclass
+class MemRequest:
+    """One memory access in flight.
+
+    ``callback(request, time)`` fires when the data is available to the
+    requester.  Writebacks have no callback.
+    """
+
+    addr: int
+    pc: int
+    core: int
+    rtype: AccessType
+    created: int = 0
+    callback: Optional[Callable[["MemRequest", int], None]] = None
+    req_id: int = field(default_factory=_take_request_id)
+
+    # Filled in as the request is serviced --------------------------------
+    completed: int = -1          # cycle data became available
+    served_by: str = ""          # name of the level that supplied the data
+
+    @property
+    def block(self) -> int:
+        """Block-aligned address (cache line number)."""
+        return self.addr >> BLOCK_BITS
+
+    @property
+    def is_prefetch(self) -> bool:
+        return self.rtype == AccessType.PREFETCH
+
+    @property
+    def is_writeback(self) -> bool:
+        return self.rtype == AccessType.WRITEBACK
+
+    def child(self, rtype: Optional[AccessType] = None,
+              callback: Optional[Callable[["MemRequest", int], None]] = None,
+              created: int = 0) -> "MemRequest":
+        """A request for the same block sent to the next level down."""
+        return MemRequest(
+            addr=self.addr,
+            pc=self.pc,
+            core=self.core,
+            rtype=self.rtype if rtype is None else rtype,
+            created=created,
+            callback=callback,
+        )
+
+    def respond(self, time: int, served_by: str = "") -> None:
+        """Deliver data to the requester at ``time``."""
+        self.completed = time
+        if served_by:
+            self.served_by = served_by
+        if self.callback is not None:
+            self.callback(self, time)

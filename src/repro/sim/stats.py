@@ -1,0 +1,89 @@
+"""Run-level results bundle returned by :class:`repro.sim.system.System`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .cache import CacheStats
+from .dram import DRAMStats
+from ..core.pmc import CoreConcurrencyStats
+
+
+@dataclass
+class SimResult:
+    """Everything the analysis layer consumes after one simulation."""
+
+    policy: str
+    n_cores: int
+    prefetch: bool
+
+    # Per-core measured-region results -----------------------------------
+    ipc: List[float]
+    instructions: List[int]
+    cycles: List[int]
+
+    # LLC-level results ----------------------------------------------------
+    llc: CacheStats
+    conc: List[CoreConcurrencyStats]      # per-core PML measurements
+    conc_total: CoreConcurrencyStats      # aggregate over cores
+    pmc_deltas: List[List[float]]         # per-core |PMCΔ| streams (Table III)
+
+    # Substrate bookkeeping ------------------------------------------------
+    dram: DRAMStats = field(default_factory=DRAMStats)
+    sim_cycles: int = 0
+    events: int = 0
+    l1_stats: List[CacheStats] = field(default_factory=list)
+    l2_stats: List[CacheStats] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instructions)
+
+    def mpki(self, core: int = None) -> float:
+        """LLC demand misses per kilo-instruction.
+
+        With ``core=None``, aggregate over all cores (multi-core MPKI).
+        """
+        if core is None:
+            misses = sum(self.llc.demand_misses_by_core.values())
+            instr = self.total_instructions
+        else:
+            misses = self.llc.demand_misses_by_core.get(core, 0)
+            instr = self.instructions[core]
+        return 1000.0 * misses / instr if instr else 0.0
+
+    @property
+    def pmr(self) -> float:
+        """Aggregate LLC pure miss rate (Fig. 8 / Table X)."""
+        return self.conc_total.pure_miss_rate
+
+    @property
+    def mean_pmc(self) -> float:
+        """Mean PMC over completed LLC misses (Table X)."""
+        return self.conc_total.mean_pmc
+
+    @property
+    def aocpa(self) -> float:
+        """Average Overlapping Cycles Per Access, mean over cores (Table XI)."""
+        per_core = [c.aocpa for c in self.conc if c.accesses]
+        return sum(per_core) / len(per_core) if per_core else 0.0
+
+    @property
+    def hit_miss_overlap_fraction(self) -> float:
+        """Fraction of LLC misses with hit-miss overlapping (Fig. 3)."""
+        return self.conc_total.hit_miss_overlap_fraction
+
+    def summary(self) -> Dict[str, float]:
+        """Compact scalar summary (handy for printing / quick assertions)."""
+        return {
+            "policy": self.policy,
+            "cores": self.n_cores,
+            "ipc_mean": sum(self.ipc) / len(self.ipc) if self.ipc else 0.0,
+            "mpki": self.mpki(),
+            "pmr": self.pmr,
+            "mean_pmc": self.mean_pmc,
+            "aocpa": self.aocpa,
+            "cycles": self.sim_cycles,
+        }

@@ -1,0 +1,52 @@
+"""Workload substrate: SPEC-like and GAP trace generation (Tables VIII & IX)."""
+
+from .trace import Trace, TraceRecord, make_trace
+from .patterns import (
+    HotColdPattern,
+    Pattern,
+    PointerChasePattern,
+    RandomPattern,
+    ScanPattern,
+    StreamPattern,
+    StridePattern,
+    WeightedPattern,
+    WorkloadMix,
+)
+from .spec_like import (
+    DEFAULT_SCALE,
+    FIG5_WORKLOADS,
+    SPEC_BENCHMARKS,
+    SpecBenchmark,
+    spec_benchmark,
+    spec_names,
+    spec_trace,
+)
+from .graphs import CSRGraph, GRAPH_SPECS, build_graph, graph_keys
+from .gap import gap_algorithms, gap_trace, gap_workload_names
+from .mixes import (
+    N_MIXES,
+    mixed_workload_names,
+    mixed_workload_traces,
+    multicopy_traces,
+)
+from .io import (
+    load_trace,
+    pack_champsim_instruction,
+    read_champsim_trace,
+    save_trace,
+)
+
+__all__ = [
+    "Trace", "TraceRecord", "make_trace",
+    "Pattern", "StreamPattern", "StridePattern", "RandomPattern",
+    "PointerChasePattern", "HotColdPattern", "ScanPattern",
+    "WeightedPattern", "WorkloadMix",
+    "DEFAULT_SCALE", "FIG5_WORKLOADS", "SPEC_BENCHMARKS", "SpecBenchmark",
+    "spec_benchmark", "spec_names", "spec_trace",
+    "CSRGraph", "GRAPH_SPECS", "build_graph", "graph_keys",
+    "gap_algorithms", "gap_trace", "gap_workload_names",
+    "N_MIXES", "mixed_workload_names", "mixed_workload_traces",
+    "multicopy_traces",
+    "load_trace", "pack_champsim_instruction", "read_champsim_trace",
+    "save_trace",
+]

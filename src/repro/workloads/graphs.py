@@ -1,0 +1,142 @@
+"""Synthetic graph datasets standing in for Table IX (orkut/twitter/urand).
+
+The paper's GAP runs use orkut (3.1M vertices, social), twitter (61.6M,
+social) and urand (134.2M, uniform random).  Graphs of that size are neither
+available offline nor simulatable at Python speed, so we build seeded
+synthetic graphs with the same *structural contrast* the paper relies on:
+
+* ``orkut``  — power-law social graph, moderate size, high average degree,
+* ``twitter`` — larger, heavier-tailed power-law (hub-dominated),
+* ``urand``  — largest, uniform random degree (no locality structure).
+
+Scaled sizes keep the ratio "urand > twitter > orkut" and keep each graph's
+property arrays larger than the scaled LLC, so graph property accesses are
+LLC-resident-hostile exactly as in the paper.  Graphs are CSR (offsets +
+neighbors), the representation whose array walks the GAP suite's memory
+behavior comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """Compressed sparse row directed graph with uniform edge weights."""
+
+    name: str
+    offsets: np.ndarray      # int64[V+1]
+    neighbors: np.ndarray    # int64[E]
+    weights: np.ndarray      # int64[E], small positive ints (for sssp)
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.neighbors)
+
+    @property
+    def avg_degree(self) -> float:
+        return self.n_edges / self.n_vertices if self.n_vertices else 0.0
+
+    def out_neighbors(self, u: int) -> np.ndarray:
+        return self.neighbors[self.offsets[u]:self.offsets[u + 1]]
+
+    def validate(self) -> None:
+        if self.offsets[0] != 0 or self.offsets[-1] != self.n_edges:
+            raise ValueError(f"{self.name}: malformed offsets")
+        if np.any(np.diff(self.offsets) < 0):
+            raise ValueError(f"{self.name}: offsets not monotone")
+        if self.n_edges and (self.neighbors.min() < 0
+                             or self.neighbors.max() >= self.n_vertices):
+            raise ValueError(f"{self.name}: neighbor id out of range")
+
+
+def _csr_from_edges(name: str, n: int, src: np.ndarray, dst: np.ndarray,
+                    rng: np.random.Generator) -> CSRGraph:
+    """Sort an edge list into CSR, dropping self-loops and duplicates."""
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    key = src.astype(np.int64) * n + dst
+    _, unique_idx = np.unique(key, return_index=True)
+    src, dst = src[unique_idx], dst[unique_idx]
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    counts = np.bincount(src, minlength=n)
+    offsets[1:] = np.cumsum(counts)
+    weights = rng.integers(1, 16, size=len(dst), dtype=np.int64)
+    graph = CSRGraph(name=name, offsets=offsets,
+                     neighbors=dst.astype(np.int64), weights=weights)
+    graph.validate()
+    return graph
+
+
+def _powerlaw_graph(name: str, n: int, avg_degree: int, alpha: float,
+                    seed: int) -> CSRGraph:
+    """Hub-skewed graph: endpoints drawn from a Zipf(alpha) vertex weighting."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    prob = ranks ** (-alpha)
+    prob /= prob.sum()
+    perm = rng.permutation(n)             # decouple vertex id from popularity
+    m = n * avg_degree
+    src = perm[rng.choice(n, size=m, p=prob)]
+    dst = perm[rng.choice(n, size=m, p=prob)]
+    return _csr_from_edges(name, n, src, dst, rng)
+
+
+def _uniform_graph(name: str, n: int, avg_degree: int, seed: int) -> CSRGraph:
+    rng = np.random.default_rng(seed)
+    m = n * avg_degree
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    return _csr_from_edges(name, n, src, dst, rng)
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Table IX row: paper-scale stats plus our scaled builder parameters."""
+
+    key: str                 # paper shorthand: or / tw / ur
+    full_name: str
+    paper_vertices: str      # as printed in Table IX
+    paper_edges: str
+    description: str
+    vertices: int            # scaled size we actually build
+    avg_degree: int
+    alpha: float             # 0 = uniform
+
+
+GRAPH_SPECS: Dict[str, GraphSpec] = {
+    "or": GraphSpec("or", "orkut", "3.1M", "117.2M", "Social network",
+                    vertices=6000, avg_degree=24, alpha=0.7),
+    "tw": GraphSpec("tw", "twitter", "61.6M", "1468.4M", "Social network",
+                    vertices=12000, avg_degree=20, alpha=0.95),
+    "ur": GraphSpec("ur", "urand", "134.2M", "2147.4M", "Synthetic",
+                    vertices=24000, avg_degree=16, alpha=0.0),
+}
+
+
+def graph_keys() -> List[str]:
+    return list(GRAPH_SPECS)
+
+
+@lru_cache(maxsize=None)
+def build_graph(key: str, seed: int = 7) -> CSRGraph:
+    """Build (and memoize) one of the Table IX stand-in graphs."""
+    try:
+        spec = GRAPH_SPECS[key]
+    except KeyError:
+        raise KeyError(f"unknown graph {key!r}; known: {graph_keys()}") from None
+    if spec.alpha > 0:
+        return _powerlaw_graph(spec.full_name, spec.vertices,
+                               spec.avg_degree, spec.alpha, seed)
+    return _uniform_graph(spec.full_name, spec.vertices, spec.avg_degree, seed)

@@ -1,0 +1,81 @@
+"""Trace format shared by workload generators and the core model.
+
+A trace is a sequence of :class:`TraceRecord` tuples.  Each record is one
+memory instruction plus the ``gap`` non-memory instructions that precede it,
+so a trace of N records represents ``sum(gap_i + 1)`` instructions — the
+denominator for IPC and MPKI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, NamedTuple, Sequence
+
+from ..sim.config import BLOCK_SIZE
+
+
+class TraceRecord(NamedTuple):
+    """One memory access in a workload trace.
+
+    ``dep`` marks a load whose address depends on the previous record's
+    data (pointer chasing): the core cannot issue it until the previous
+    access completes, which is what makes such misses *isolated* and
+    expensive — exactly the misses PMC grades as costly.
+    """
+
+    pc: int        # instruction pointer of the access
+    addr: int      # byte address accessed
+    is_write: bool
+    gap: int       # non-memory instructions since the previous access
+    dep: bool = False
+
+
+@dataclass
+class Trace:
+    """A named trace with provenance metadata."""
+
+    name: str
+    records: List[TraceRecord]
+    seed: int = 0
+    suite: str = "synthetic"
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, idx):
+        return self.records[idx]
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions represented (memory + compute)."""
+        return sum(r.gap + 1 for r in self.records)
+
+    @property
+    def memory_accesses(self) -> int:
+        return len(self.records)
+
+    @property
+    def write_fraction(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.is_write) / len(self.records)
+
+    def footprint_blocks(self) -> int:
+        """Distinct 64B blocks touched."""
+        return len({r.addr // BLOCK_SIZE for r in self.records})
+
+    def validate(self) -> None:
+        """Sanity-check invariants all generators must uphold."""
+        for i, rec in enumerate(self.records):
+            if rec.addr < 0 or rec.pc < 0 or rec.gap < 0:
+                raise ValueError(f"{self.name}: bad record {i}: {rec}")
+
+
+def make_trace(name: str, records: Iterable[TraceRecord], seed: int = 0,
+               suite: str = "synthetic") -> Trace:
+    trace = Trace(name=name, records=list(records), seed=seed, suite=suite)
+    trace.validate()
+    return trace

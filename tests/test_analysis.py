@@ -1,0 +1,196 @@
+"""Analysis layer: study case, metrics, C-AMAT, hardware cost, reporting."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    EXPECTED_MLP,
+    EXPECTED_PMC,
+    EXPECTED_PURE_CYCLES,
+    CaseAccess,
+    analyze_case,
+    banner,
+    camat_breakdown,
+    care_concurrency_kb,
+    care_cost,
+    format_bars,
+    format_table,
+    framework_costs,
+    geometric_mean,
+    normalized_ipc,
+    paper_study_case,
+    speedup_summary,
+    weighted_speedup,
+    PAPER_TABLE6_KB,
+)
+from repro.core.pmc import CoreConcurrencyStats
+from repro.sim.stats import SimResult
+from repro.sim.cache import CacheStats
+
+
+# ----------------------------------------------------------------------
+# Study case (Tables I & II)
+# ----------------------------------------------------------------------
+
+def test_study_case_reproduces_table1_exactly():
+    result = paper_study_case()
+    assert result.mlp_cost == EXPECTED_MLP
+
+
+def test_study_case_reproduces_table2_exactly():
+    result = paper_study_case()
+    assert result.pmc == EXPECTED_PMC
+    assert result.pure_miss_cycles == EXPECTED_PURE_CYCLES
+
+
+def test_study_case_pmc_sums_to_pure_cycles():
+    result = paper_study_case()
+    assert result.total_pmc == Fraction(len(result.pure_miss_cycles))
+
+
+def test_analyze_case_rejects_duplicate_labels():
+    with pytest.raises(ValueError):
+        analyze_case([CaseAccess("A", 1, True), CaseAccess("A", 2, False)])
+
+
+def test_isolated_miss_costs_full_latency():
+    r = analyze_case([CaseAccess("m", 1, True)], base_cycles=2,
+                     miss_cycles=6)
+    assert r.mlp_cost["m"] == 6
+    assert r.pmc["m"] == 6
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+def _result(ipcs, policy="x"):
+    return SimResult(policy=policy, n_cores=len(ipcs), prefetch=False,
+                     ipc=list(ipcs), instructions=[1000] * len(ipcs),
+                     cycles=[100] * len(ipcs), llc=CacheStats(),
+                     conc=[CoreConcurrencyStats() for _ in ipcs],
+                     conc_total=CoreConcurrencyStats(), pmc_deltas=[])
+
+
+def test_geometric_mean():
+    assert geometric_mean([2, 8]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_normalized_ipc():
+    assert normalized_ipc(_result([2, 2]), _result([1, 1])) == 2.0
+
+
+def test_weighted_speedup():
+    ws = weighted_speedup(_result([1.0, 2.0]), [2.0, 2.0])
+    assert ws == pytest.approx(1.5)
+    with pytest.raises(ValueError):
+        weighted_speedup(_result([1.0]), [1.0, 1.0])
+
+
+def test_speedup_summary_geomean_row():
+    results = {
+        "w1": {"lru": _result([1.0]), "care": _result([1.2])},
+        "w2": {"lru": _result([1.0]), "care": _result([1.3])},
+    }
+    table = speedup_summary(results)
+    assert table["w1"]["care"] == pytest.approx(1.2)
+    assert table["GEOMEAN"]["care"] == pytest.approx(
+        geometric_mean([1.2, 1.3]))
+    assert table["GEOMEAN"]["lru"] == pytest.approx(1.0)
+
+
+def test_speedup_summary_requires_baseline():
+    with pytest.raises(KeyError):
+        speedup_summary({"w": {"care": _result([1.0])}})
+
+
+# ----------------------------------------------------------------------
+# C-AMAT
+# ----------------------------------------------------------------------
+
+def test_camat_decomposition_consistent():
+    stats = CoreConcurrencyStats(
+        accesses=100, misses=30, pure_misses=10,
+        pure_miss_cycles=200.0, active_cycles=500.0)
+    b = camat_breakdown(stats)
+    assert b.camat == pytest.approx(5.0)
+    assert b.pure_miss_rate == pytest.approx(0.1)
+    assert b.pamp == pytest.approx(20.0)
+    assert b.hit_term + b.pure_miss_term == pytest.approx(b.camat)
+
+
+def test_camat_empty_stats():
+    b = camat_breakdown(CoreConcurrencyStats())
+    assert b.camat == 0.0 and b.pamp == 0.0
+
+
+# ----------------------------------------------------------------------
+# Hardware cost (Tables V & VI)
+# ----------------------------------------------------------------------
+
+def test_care_cost_matches_table5():
+    report = care_cost()            # paper's 2MB/16-way configuration
+    assert report.total_kb == pytest.approx(26.64, abs=0.05)
+    assert care_concurrency_kb(report) == pytest.approx(6.76, abs=0.05)
+    assert report.kb_for("SHT") == pytest.approx(12.0)
+    assert report.kb_for("metadata") == pytest.approx(14.125, abs=0.01)
+
+
+def test_care_cost_scales_linearly_with_llc():
+    small = care_cost(blocks=32768)
+    double = care_cost(blocks=65536)
+    # per-block metadata doubles; tables are fixed
+    assert double.total_kb > small.total_kb
+    assert double.kb_for("SHT") == small.kb_for("SHT")
+
+
+def test_table6_costs_within_ten_percent_of_paper():
+    for report in framework_costs():
+        paper = PAPER_TABLE6_KB[report.framework]
+        assert report.total_kb == pytest.approx(paper, rel=0.10), \
+            report.framework
+
+
+def test_care_cheaper_than_ml_frameworks():
+    costs = {r.framework: r.total_kb for r in framework_costs()}
+    assert costs["CARE"] < costs["Glider"]
+    assert costs["CARE"] < costs["Hawkeye"]
+
+
+def test_only_care_and_sbar_are_concurrency_aware():
+    flags = {r.framework: r.concurrency_aware for r in framework_costs()}
+    assert flags["CARE"] and flags["SBAR(MLP)"]
+    assert not any(flags[f] for f in ("LRU", "SHiP++", "Hawkeye", "Glider",
+                                      "Mockingjay"))
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+
+def test_format_table_alignment_and_floats():
+    out = format_table(["name", "v"], [["a", 1.23456], ["bb", 2.0]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "1.235" in out
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_bars_scales():
+    out = format_bars({"lru": 1.0, "care": 2.0}, width=10)
+    lines = out.splitlines()
+    assert lines[1].count("█") == 10
+    assert lines[0].count("█") == 5
+
+
+def test_banner_contains_title():
+    assert "Figure 7" in banner("Figure 7")

@@ -1,0 +1,163 @@
+"""Background policies the paper cites: DIP family (LIP/BIP/DIP), RLR, EAF."""
+
+import pytest
+
+from repro.harness import simulate_cache
+from repro.policies.base import PolicyAccess
+from repro.policies.dueling import SetDuel
+from repro.policies.eaf import BloomFilter
+from repro.policies.registry import make_policy
+from repro.sim.request import AccessType
+
+
+def acc(pc=0, addr=0, rtype=AccessType.LOAD, prefetch=False):
+    return PolicyAccess(pc=pc, addr=addr, core=0, rtype=rtype,
+                        prefetch=prefetch)
+
+
+def seq(blocks):
+    return [(0x10 + (b % 7), b * 64) for b in blocks]
+
+
+# ----------------------------------------------------------------------
+# LIP / BIP / DIP
+# ----------------------------------------------------------------------
+
+def test_lip_inserted_block_is_immediate_victim():
+    pol = make_policy("lip", sets=1, ways=4)
+    blocks = [None] * 4
+    for w in range(4):
+        pol.on_fill(0, w, blocks, acc())
+        if w < 3:
+            pol.on_hit(0, w, blocks, acc())   # promote all but the last
+    assert pol.find_victim(0, blocks, acc()) == 3
+
+
+def test_lip_hit_promotes_to_mru():
+    pol = make_policy("lip", sets=1, ways=2)
+    blocks = [None] * 2
+    pol.on_fill(0, 0, blocks, acc())
+    pol.on_fill(0, 1, blocks, acc())
+    pol.on_hit(0, 1, blocks, acc())
+    assert pol.find_victim(0, blocks, acc()) == 0
+
+
+def test_lip_protects_against_thrash_loop():
+    addrs = seq(list(range(17)) * 20)
+    lru = simulate_cache(addrs, sets=1, ways=16, policy="lru")
+    lip = simulate_cache(addrs, sets=1, ways=16, policy="lip")
+    assert lru.hits == 0
+    assert lip.hits > 100
+
+
+def test_bip_occasionally_inserts_mru():
+    pol = make_policy("bip", sets=1, ways=1, seed=0, epsilon=0.5)
+    blocks = [None]
+    mru_like = 0
+    for _ in range(200):
+        pol.on_fill(0, 0, blocks, acc())
+        mru_like += pol._stamp[0][0] == pol._clock
+    assert 50 < mru_like < 150
+
+
+def test_bip_epsilon_validation():
+    with pytest.raises(ValueError):
+        make_policy("bip", sets=1, ways=1, epsilon=2.0)
+
+
+def test_dip_leader_sets_follow_their_policy():
+    pol = make_policy("dip", sets=64, ways=4, seed=1)
+    blocks = [None] * 4
+    leader_a = next(s for s in range(64)
+                    if pol.duel.role(s) == SetDuel.ROLE_A)
+    pol.on_fill(leader_a, 0, blocks, acc())
+    # LRU-role leader inserts MRU: newest stamp in the set
+    assert pol._stamp[leader_a][0] == pol._clock
+
+
+def test_dip_tracks_thrash_and_beats_lru():
+    addrs = seq(list(range(40)) * 15)
+    lru = simulate_cache(addrs, sets=2, ways=16, policy="lru")
+    dip = simulate_cache(addrs, sets=2, ways=16, policy="dip",
+                         leaders_per_policy=1, seed=3)
+    assert dip.hits > lru.hits
+
+
+# ----------------------------------------------------------------------
+# RLR
+# ----------------------------------------------------------------------
+
+def test_rlr_prefers_aged_unused_blocks():
+    pol = make_policy("rlr", sets=1, ways=2, age_granularity=1)
+    blocks = [None] * 2
+    pol.on_fill(0, 0, blocks, acc())
+    pol.on_fill(0, 1, blocks, acc())
+    pol.on_hit(0, 0, blocks, acc())     # way 0 reused
+    for _ in range(10):                 # age both
+        pol._clock[0] += 1
+    assert pol.find_victim(0, blocks, acc()) == 1
+
+
+def test_rlr_reuse_outweighs_small_age_difference():
+    pol = make_policy("rlr", sets=1, ways=2, age_granularity=1)
+    blocks = [None] * 2
+    pol.on_fill(0, 0, blocks, acc())
+    pol.on_hit(0, 0, blocks, acc())     # old but reused
+    pol.on_fill(0, 1, blocks, acc())    # fresh, never reused
+    pol._clock[0] += 3                  # small aging
+    assert pol.find_victim(0, blocks, acc()) == 1
+
+
+def test_rlr_prefetch_fills_are_cheaper():
+    pol = make_policy("rlr", sets=1, ways=2, age_granularity=100)
+    blocks = [None] * 2
+    pol.on_fill(0, 0, blocks, acc(rtype=AccessType.PREFETCH, prefetch=True))
+    pol.on_fill(0, 1, blocks, acc())
+    assert pol.find_victim(0, blocks, acc()) == 0
+
+
+# ----------------------------------------------------------------------
+# EAF
+# ----------------------------------------------------------------------
+
+def test_bloom_filter_membership_and_reset():
+    f = BloomFilter(bits=1024, reset_after=10)
+    f.insert(42)
+    assert f.test(42)
+    for i in range(100, 112):      # push past reset threshold
+        f.insert(i)
+    assert not f.test(42)
+
+
+def test_bloom_filter_geometry_validation():
+    with pytest.raises(ValueError):
+        BloomFilter(bits=4)
+
+
+def test_eaf_reinserts_premature_evictions_at_mru():
+    pol = make_policy("eaf", sets=1, ways=2)
+    blocks = [None] * 2
+    fill = acc(addr=0x1000)
+    pol.on_fill(0, 0, blocks, fill)
+    pol.on_evict(0, 0, blocks, acc())
+    # refill the same address: filter hit -> MRU insertion
+    pol.on_fill(0, 0, blocks, fill)
+    assert pol._stamp[0][0] == pol._clock
+
+
+def test_eaf_beats_lru_on_mixed_thrash():
+    reuse = list(range(10))
+    scan = list(range(1000, 1400))
+    pattern = []
+    for i in range(20):
+        pattern += reuse + scan[20 * i:20 * (i + 1)]
+    addrs = seq(pattern)
+    lru = simulate_cache(addrs, sets=1, ways=16, policy="lru")
+    eaf = simulate_cache(addrs, sets=1, ways=16, policy="eaf", seed=5)
+    assert eaf.hits > lru.hits
+
+
+def test_new_policies_registered():
+    from repro.policies.registry import available_policies
+    for name in ("lip", "bip", "dip", "rlr", "eaf"):
+        assert name in available_policies()

@@ -1,0 +1,52 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_policies_command(capsys):
+    assert main(["policies"]) == 0
+    out = capsys.readouterr().out
+    for name in ("lru", "care", "mcare", "shippp", "hawkeye"):
+        assert name in out
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "429.mcf" in out and "bfs-or" in out
+    assert "26.28" in out      # Table VIII MPKI shown
+
+
+def test_studycase_command(capsys):
+    assert main(["studycase"]) == 0
+    out = capsys.readouterr().out
+    assert "7/3" in out
+    assert "[10, 11, 12, 13, 14]" in out
+
+
+def test_hwcost_command(capsys):
+    assert main(["hwcost"]) == 0
+    out = capsys.readouterr().out
+    assert "26.64" in out and "6.76" in out
+
+
+def test_run_command_spec(capsys):
+    assert main(["run", "462.libquantum", "--policies", "lru", "care",
+                 "--records", "1000"]) == 0
+    out = capsys.readouterr().out
+    assert "462.libquantum" in out
+    assert "care" in out
+
+
+def test_run_command_gap(capsys):
+    assert main(["run", "bfs-or", "--policies", "lru",
+                 "--records", "800", "--prefetch"]) == 0
+    out = capsys.readouterr().out
+    assert "bfs-or" in out and "prefetch=on" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

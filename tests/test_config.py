@@ -1,0 +1,60 @@
+"""System configuration presets and validation (Table VII)."""
+
+import pytest
+
+from repro.sim import CacheConfig, DRAMConfig, SystemConfig
+
+
+def test_paper_config_matches_table7():
+    cfg = SystemConfig.paper(1)
+    assert cfg.l1.size_kb == 32 and cfg.l1.ways == 8 and cfg.l1.latency == 4
+    assert cfg.l1.mshr_entries == 8
+    assert cfg.l2.size_kb == 256 and cfg.l2.ways == 8 and cfg.l2.latency == 10
+    assert cfg.l2.mshr_entries == 32
+    llc = cfg.llc
+    assert llc.size_kb == 2048 and llc.ways == 16 and llc.latency == 20
+    assert llc.mshr_entries == 64
+    assert cfg.core.issue_width == 8 and cfg.core.rob_entries == 256
+
+
+def test_paper_llc_scales_with_cores():
+    for cores in (1, 4, 8, 16):
+        cfg = SystemConfig.paper(cores)
+        assert cfg.llc.size_kb == 2048 * cores  # 2MB per core
+    assert SystemConfig.paper(1).dram.channels == 1
+    assert SystemConfig.paper(4).dram.channels == 2
+
+
+def test_default_preserves_shape():
+    cfg = SystemConfig.default(4)
+    assert cfg.llc.ways == 16
+    assert cfg.l1.size_bytes < cfg.l2.size_bytes < cfg.llc.size_bytes
+    assert cfg.l1.latency < cfg.l2.latency < cfg.llc_latency
+
+
+def test_with_cores_rescales():
+    cfg = SystemConfig.default(1).with_cores(8)
+    assert cfg.n_cores == 8
+    assert cfg.llc.sets == 8 * SystemConfig.default(1).llc.sets
+
+
+def test_cache_config_rejects_non_power_of_two_sets():
+    with pytest.raises(ValueError):
+        CacheConfig("bad", 3, 4, 1, 1)
+
+
+def test_cache_config_rejects_nonpositive_parameters():
+    with pytest.raises(ValueError):
+        CacheConfig("bad", 4, 0, 1, 1)
+    with pytest.raises(ValueError):
+        CacheConfig("bad", 4, 4, 0, 1)
+
+
+def test_dram_latencies_ordered():
+    d = DRAMConfig()
+    assert d.row_hit_latency < d.row_miss_latency
+
+
+def test_zero_cores_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(n_cores=0)

@@ -1,0 +1,105 @@
+"""Event engine: ordering, scheduling rules, stop/run semantics."""
+
+import pytest
+
+from repro.sim.engine import Engine, EngineError
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    order = []
+    eng.at(5, order.append, "b")
+    eng.at(1, order.append, "a")
+    eng.at(9, order.append, "c")
+    eng.run()
+    assert order == ["a", "b", "c"]
+    assert eng.now == 9
+
+
+def test_same_cycle_events_fire_in_schedule_order():
+    eng = Engine()
+    order = []
+    for tag in "abcde":
+        eng.at(3, order.append, tag)
+    eng.run()
+    assert order == list("abcde")
+
+
+def test_after_is_relative_to_now():
+    eng = Engine()
+    seen = []
+
+    def chain():
+        seen.append(eng.now)
+        if len(seen) < 3:
+            eng.after(10, chain)
+
+    eng.after(0, chain)
+    eng.run()
+    assert seen == [0, 10, 20]
+
+
+def test_scheduling_into_the_past_raises():
+    eng = Engine()
+    eng.at(5, lambda: None)
+    eng.run()
+    with pytest.raises(EngineError):
+        eng.at(3, lambda: None)
+
+
+def test_negative_delay_raises():
+    eng = Engine()
+    with pytest.raises(EngineError):
+        eng.after(-1, lambda: None)
+
+
+def test_stop_halts_processing():
+    eng = Engine()
+    seen = []
+    eng.at(1, seen.append, 1)
+    eng.at(2, eng.stop)
+    eng.at(3, seen.append, 3)
+    eng.run()
+    assert seen == [1]
+    assert eng.pending == 1
+
+
+def test_run_until_leaves_future_events_queued():
+    eng = Engine()
+    seen = []
+    eng.at(1, seen.append, 1)
+    eng.at(100, seen.append, 100)
+    eng.run(until=50)
+    assert seen == [1]
+    assert eng.now == 50
+    eng.run()
+    assert seen == [1, 100]
+
+
+def test_max_events_bounds_processing():
+    eng = Engine()
+    for i in range(10):
+        eng.at(i, lambda: None)
+    processed = eng.run(max_events=4)
+    assert processed == 4
+    assert eng.pending == 6
+
+
+def test_events_scheduled_during_execution_run():
+    eng = Engine()
+    seen = []
+    eng.at(1, lambda: eng.at(1, seen.append, "nested"))
+    eng.run()
+    assert seen == ["nested"]
+
+
+def test_step_on_empty_heap_returns_false():
+    assert Engine().step() is False
+
+
+def test_events_processed_counter():
+    eng = Engine()
+    for i in range(7):
+        eng.at(i, lambda: None)
+    eng.run()
+    assert eng.events_processed == 7

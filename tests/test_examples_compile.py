@@ -1,0 +1,26 @@
+"""Examples stay importable/compilable (full runs are exercised manually)."""
+
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 4      # quickstart + >=3 domain scenarios
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_module_docstring_and_main(path):
+    source = path.read_text()
+    assert source.lstrip().startswith(('"""', '#!')), path
+    assert "__main__" in source, f"{path.name} is not runnable"

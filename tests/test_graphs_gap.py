@@ -1,0 +1,179 @@
+"""Graph datasets (Table IX) and GAP algorithm trace emitters."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.gap import (
+    NEIGHBORS_BASE,
+    OFFSETS_BASE,
+    bfs_records,
+    cc_records,
+    gap_algorithms,
+    gap_trace,
+    gap_workload_names,
+    pagerank_records,
+    sssp_records,
+    bc_records,
+)
+from repro.workloads.graphs import (
+    GRAPH_SPECS,
+    CSRGraph,
+    build_graph,
+    graph_keys,
+)
+
+
+# ----------------------------------------------------------------------
+# Graph construction
+# ----------------------------------------------------------------------
+
+def test_table9_graphs_exist():
+    assert graph_keys() == ["or", "tw", "ur"]
+    assert GRAPH_SPECS["or"].full_name == "orkut"
+    assert GRAPH_SPECS["tw"].paper_vertices == "61.6M"
+
+
+def test_graphs_validate_and_sizes_ordered():
+    sizes = {}
+    for key in graph_keys():
+        g = build_graph(key)
+        g.validate()
+        sizes[key] = g.n_vertices
+        assert g.n_edges > g.n_vertices          # connected-ish density
+    assert sizes["or"] < sizes["tw"] < sizes["ur"]
+
+
+def test_powerlaw_graphs_are_skewed_uniform_is_not():
+    def degree_skew(g: CSRGraph) -> float:
+        deg = np.diff(g.offsets)
+        return float(deg.max() / max(1.0, deg.mean()))
+
+    assert degree_skew(build_graph("tw")) > 3 * degree_skew(build_graph("ur"))
+
+
+def test_graph_build_is_memoized_and_deterministic():
+    a = build_graph("or")
+    b = build_graph("or")
+    assert a is b
+
+
+def test_unknown_graph_rejected():
+    with pytest.raises(KeyError):
+        build_graph("zz")
+
+
+def test_out_neighbors_matches_offsets():
+    g = build_graph("or")
+    u = int(np.argmax(np.diff(g.offsets)))       # highest-degree vertex
+    nbrs = g.out_neighbors(u)
+    assert len(nbrs) == g.offsets[u + 1] - g.offsets[u]
+
+
+# ----------------------------------------------------------------------
+# Kernels compute correct results while tracing
+# ----------------------------------------------------------------------
+
+def line_graph(n=6):
+    """0 -> 1 -> 2 -> ... -> n-1 (plus reverse edges)."""
+    edges = []
+    for i in range(n - 1):
+        edges.append((i, i + 1))
+        edges.append((i + 1, i))
+    src = np.array([e[0] for e in edges])
+    order = np.argsort(src, kind="stable")
+    src = src[order]
+    dst = np.array([e[1] for e in edges])[order]
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    offsets[1:] = np.cumsum(np.bincount(src, minlength=n))
+    weights = np.ones(len(dst), dtype=np.int64)
+    g = CSRGraph("line", offsets, dst.astype(np.int64), weights)
+    g.validate()
+    return g
+
+
+def test_bfs_records_and_depths():
+    g = line_graph(5)
+    records = list(bfs_records(g, source=0))
+    assert records, "bfs must touch memory"
+    # bfs on a line visits every vertex: depth writes = n-1
+    writes = [r for r in records if r.is_write]
+    assert len(writes) == 4
+
+
+def test_sssp_relaxes_line_graph():
+    g = line_graph(4)
+    records = list(sssp_records(g, source=0))
+    writes = [r for r in records if r.is_write]
+    assert len(writes) >= 3      # dist updates propagate down the line
+    # weights array must be read
+    from repro.workloads.gap import WEIGHTS_BASE
+    assert any(WEIGHTS_BASE <= r.addr < WEIGHTS_BASE + (1 << 30)
+               for r in records)
+
+
+def test_cc_converges_on_line_graph():
+    g = line_graph(6)
+    records = list(cc_records(g))
+    assert records
+    writes = [r for r in records if r.is_write]
+    assert writes           # labels propagate
+
+
+def test_pagerank_reads_offsets_and_neighbors():
+    g = line_graph(4)
+    records = list(pagerank_records(g, iterations=2))
+    assert any(OFFSETS_BASE <= r.addr < OFFSETS_BASE + (1 << 30)
+               for r in records)
+    assert any(NEIGHBORS_BASE <= r.addr < NEIGHBORS_BASE + (1 << 30)
+               for r in records)
+
+
+def test_bc_has_forward_and_backward_phases():
+    g = line_graph(5)
+    records = list(bc_records(g, source=0))
+    writes = [r for r in records if r.is_write]
+    assert len(writes) >= 5   # depth + sigma writes + delta writes
+
+
+# ----------------------------------------------------------------------
+# Trace assembly
+# ----------------------------------------------------------------------
+
+def test_gap_workload_names_cover_5x3():
+    names = gap_workload_names()
+    assert len(names) == 15
+    assert "bfs-or" in names and "pr-ur" in names
+    assert gap_algorithms() == ["bc", "bfs", "cc", "pr", "sssp"]
+
+
+@pytest.mark.parametrize("workload", ["bfs-or", "pr-tw", "sssp-ur"])
+def test_gap_trace_exact_length(workload):
+    t = gap_trace(workload, n_records=400, seed=1)
+    assert len(t) == 400
+    assert t.suite == "GAP"
+    t.validate()
+
+
+def test_gap_trace_deterministic():
+    a = gap_trace("cc-or", 300, seed=2)
+    b = gap_trace("cc-or", 300, seed=2)
+    assert a.records == b.records
+
+
+def test_gap_trace_seed_separates_address_space():
+    a = gap_trace("bfs-or", 50, seed=1)
+    b = gap_trace("bfs-or", 50, seed=2)
+    assert (a.records[0].addr >> 36) != (b.records[0].addr >> 36)
+
+
+def test_gap_trace_unknown_workload():
+    with pytest.raises(KeyError):
+        gap_trace("dfs-or", 10)
+    with pytest.raises(KeyError):
+        gap_trace("bfs-xx", 10)
+
+
+def test_gap_pcs_are_stable_per_site():
+    t = gap_trace("bfs-or", 2000, seed=1)
+    pcs = {r.pc for r in t.records}
+    assert len(pcs) <= 16     # a handful of access sites, stable PCs

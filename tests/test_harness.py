@@ -1,0 +1,91 @@
+"""Experiment harness: caching, sweeps, cachesim."""
+
+import pytest
+
+from repro.harness import (
+    bench_gap_workloads,
+    bench_spec_workloads,
+    clear_cache,
+    run_multicopy,
+    run_single,
+    simulate_cache,
+    speedup_sweep,
+)
+from repro.harness.experiment import _result_cache
+
+
+def test_bench_workload_lists():
+    assert len(bench_spec_workloads(4)) == 4
+    assert len(bench_spec_workloads(30)) == 30
+    gaps = bench_gap_workloads(3)
+    assert len(gaps) == 3
+
+
+def test_run_single_is_cached():
+    clear_cache()
+    a = run_single("462.libquantum", "lru", n_records=600)
+    size = len(_result_cache)
+    b = run_single("462.libquantum", "lru", n_records=600)
+    assert a is b
+    assert len(_result_cache) == size
+
+
+def test_cache_key_distinguishes_parameters():
+    clear_cache()
+    run_single("462.libquantum", "lru", n_records=600)
+    run_single("462.libquantum", "lru", n_records=600, prefetch=True)
+    run_single("462.libquantum", "srrip", n_records=600)
+    assert len(_result_cache) == 3
+
+
+def test_speedup_sweep_structure():
+    clear_cache()
+    table = speedup_sweep(["462.libquantum"], ["lru", "srrip"], n_cores=1,
+                          prefetch=False, n_records=600)
+    assert set(table) == {"462.libquantum", "GEOMEAN"}
+    assert table["462.libquantum"]["lru"] == pytest.approx(1.0)
+    assert table["GEOMEAN"]["srrip"] > 0
+
+
+def test_run_multicopy_core_count():
+    clear_cache()
+    res = run_multicopy("470.lbm", "lru", n_cores=2, prefetch=False,
+                        n_records=500)
+    assert res.n_cores == 2
+
+
+def test_gap_suite_runs():
+    clear_cache()
+    res = run_multicopy("bfs-or", "lru", n_cores=1, prefetch=False,
+                        suite="gap", n_records=500)
+    assert res.ipc[0] > 0
+
+
+# ----------------------------------------------------------------------
+# cachesim input handling
+# ----------------------------------------------------------------------
+
+def test_cachesim_accepts_multiple_input_forms(small_trace):
+    from_records = simulate_cache(small_trace.records[:200], sets=4, ways=2)
+    from_pairs = simulate_cache(
+        [(r.pc, r.addr) for r in small_trace.records[:200]], sets=4, ways=2)
+    from_addrs = simulate_cache(
+        [r.addr for r in small_trace.records[:200]], sets=4, ways=2)
+    assert from_records.hits == from_pairs.hits == from_addrs.hits
+
+
+def test_cachesim_rejects_bad_sets():
+    with pytest.raises(ValueError):
+        simulate_cache([0], sets=3, ways=1)
+
+
+def test_cachesim_hit_vector():
+    r = simulate_cache([0, 0, 64], sets=1, ways=2, record_hits=True)
+    assert r.hit_vector == [False, True, False]
+
+
+def test_cachesim_accepts_policy_object():
+    from repro.policies.lru import LRUPolicy
+    pol = LRUPolicy(2, 2)
+    r = simulate_cache([0, 0], sets=2, ways=2, policy=pol)
+    assert r.hits == 1

@@ -1,0 +1,97 @@
+"""End-to-end integration: every scheme through the full hierarchy, plus the
+paper's qualitative headline checks at miniature scale."""
+
+import pytest
+
+from repro.policies.registry import available_policies
+from repro.sim import SystemConfig, simulate
+from repro.workloads import multicopy_traces, spec_trace
+
+ALL_TIMING_POLICIES = [p for p in available_policies() if p != "opt"]
+
+
+@pytest.fixture(scope="module")
+def mcf_traces():
+    return [t.records for t in multicopy_traces("429.mcf", 2, 4000, seed=5)]
+
+
+@pytest.mark.parametrize("policy", ALL_TIMING_POLICIES)
+def test_every_policy_completes_multicore(policy, mcf_traces):
+    res = simulate(mcf_traces, cfg=SystemConfig.default(2),
+                   llc_policy=policy, prefetch=True,
+                   measure_records=1500, warmup_records=1500, seed=1)
+    assert all(ipc > 0 for ipc in res.ipc)
+    assert res.policy == policy
+    assert 0.0 <= res.pmr <= 1.0
+    assert res.mean_pmc >= 0.0
+
+
+def test_care_beats_lru_on_chase_workload(mcf_traces):
+    lru = simulate(mcf_traces, cfg=SystemConfig.default(2),
+                   llc_policy="lru", prefetch=True,
+                   measure_records=1500, warmup_records=1500)
+    care = simulate(mcf_traces, cfg=SystemConfig.default(2),
+                    llc_policy="care", prefetch=True,
+                    measure_records=1500, warmup_records=1500)
+    assert sum(care.ipc) > sum(lru.ipc)
+
+
+def test_care_lowers_pure_miss_pressure(mcf_traces):
+    """Fig. 8 / Table X shape: CARE reduces pMR or mean PMC vs LRU."""
+    lru = simulate(mcf_traces, cfg=SystemConfig.default(2),
+                   llc_policy="lru", prefetch=True,
+                   measure_records=1500, warmup_records=1500)
+    care = simulate(mcf_traces, cfg=SystemConfig.default(2),
+                    llc_policy="care", prefetch=True,
+                    measure_records=1500, warmup_records=1500)
+    assert (care.pmr <= lru.pmr * 1.02
+            or care.mean_pmc <= lru.mean_pmc * 1.02)
+
+
+def test_single_core_pmc_distribution_collected():
+    """Fig. 5 machinery: histogram over 8 bins, populated."""
+    tr = spec_trace("429.mcf", 4000, seed=2)
+    res = simulate([tr.records], cfg=SystemConfig.default(1),
+                   llc_policy="lru", measure_records=1500,
+                   warmup_records=1500, collect_deltas=True)
+    hist = res.conc_total.pmc_histogram
+    assert len(hist) == 8
+    assert sum(hist) == res.conc_total.misses
+    assert res.pmc_deltas[0], "PMC delta stream must be populated"
+
+
+def test_mlp_cost_at_least_pmc_per_run(mcf_traces):
+    """Every miss's MLP cost >= its PMC (PMC only counts unhidden cycles),
+    so the means obey the same order."""
+    res = simulate(mcf_traces, cfg=SystemConfig.default(2),
+                   llc_policy="lru", prefetch=True,
+                   measure_records=1500, warmup_records=1500)
+    assert res.conc_total.mlp_sum >= res.conc_total.pmc_sum - 1e-6
+
+
+def test_more_cores_more_overlap():
+    """Table XI shape: AOCPA grows with core count (more LLC contention)."""
+    aocpa = {}
+    for cores in (1, 4):
+        traces = [t.records for t in
+                  multicopy_traces("462.libquantum", cores, 4000, seed=5)]
+        res = simulate(traces, cfg=SystemConfig.default(cores),
+                       llc_policy="lru", prefetch=True,
+                       measure_records=1500, warmup_records=1500)
+        aocpa[cores] = res.aocpa
+    assert aocpa[4] > aocpa[1]
+
+
+def test_prefetching_converts_streaming_demand_misses():
+    tr = spec_trace("462.libquantum", 4000, seed=2)
+    base = simulate([tr.records], cfg=SystemConfig.default(1),
+                    llc_policy="lru", prefetch=False,
+                    measure_records=1500, warmup_records=1500)
+    pf = simulate([tr.records], cfg=SystemConfig.default(1),
+                  llc_policy="lru", prefetch=True,
+                  measure_records=1500, warmup_records=1500)
+    # IP-stride covers the stream: LLC demand misses collapse and IPC
+    # doesn't regress meaningfully (the machine is bandwidth-bound, so
+    # the win shows as latency hiding, not raw IPC).
+    assert pf.llc.demand_misses < base.llc.demand_misses * 0.7
+    assert pf.ipc[0] > base.ipc[0] * 0.95

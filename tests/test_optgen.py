@@ -1,0 +1,71 @@
+"""OPTgen: the occupancy-vector reconstruction of Belady's decisions."""
+
+from repro.policies.optgen import OptGen
+
+
+def feed(gen, stream, pc=0x10):
+    labels = []
+    for tag in stream:
+        labels.append(gen.access(tag, pc))
+    return labels
+
+
+def test_first_touch_yields_no_label():
+    gen = OptGen(ways=2)
+    assert gen.access(1, 0x10) is None
+
+
+def test_reuse_within_capacity_labels_hit():
+    gen = OptGen(ways=2)
+    labels = feed(gen, [1, 2, 1])
+    assert labels[2] is not None and labels[2].hit
+
+
+def test_capacity_exceeded_labels_miss():
+    gen = OptGen(ways=1)
+    # A, B, C all live across A's reuse interval with 1 way: A's reuse
+    # cannot be cached once B is kept... with 1 way, interval [A..A] holds
+    # B and C touches -> occupancy full at B's slot after B reuse.
+    labels = feed(gen, [1, 2, 2, 1])
+    # 2's reuse fits (occupancy 0 < 1), 1's reuse sees the interval where
+    # 2 was cached -> full -> OPT miss.
+    assert labels[2].hit is True
+    assert labels[3].hit is False
+
+
+def test_opt_beats_lru_shape_on_cyclic_pattern():
+    # Cyclic pattern over ways+1 blocks: LRU hits 0%; OPT hits some.
+    gen = OptGen(ways=2)
+    labels = feed(gen, [1, 2, 3] * 6)
+    hits = sum(1 for l in labels if l is not None and l.hit)
+    assert hits > 0
+
+
+def test_label_carries_previous_pc_and_context():
+    gen = OptGen(ways=4)
+    gen.access(7, 0xAAA, context="first")
+    label = gen.access(7, 0xBBB, context="second")
+    assert label.pc == 0xAAA
+    assert label.context == "first"
+
+
+def test_out_of_window_reuse_is_negative():
+    gen = OptGen(ways=1, window=4)
+    gen.access(99, 0x1)
+    for tag in range(10, 16):
+        gen.access(tag, 0x2)
+    label = gen.access(99, 0x3)
+    assert label is not None and not label.hit
+
+
+def test_time_advances_per_access():
+    gen = OptGen(ways=2)
+    feed(gen, [1, 2, 3])
+    assert gen.time == 3
+
+
+def test_address_map_is_bounded():
+    gen = OptGen(ways=2, window=8)
+    for tag in range(10_000):
+        gen.access(tag, 0x1)
+    assert len(gen._last) <= 4 * gen.window + 1

@@ -1,0 +1,208 @@
+"""Hawkeye, Glider, Mockingjay, and Belady-OPT."""
+
+import pytest
+
+from repro.harness import simulate_cache
+from repro.policies.base import PolicyAccess
+from repro.policies.hawkeye import HawkeyePredictor
+from repro.policies.mockingjay import ReuseDistancePredictor
+from repro.policies.registry import make_policy
+from repro.sim.request import AccessType
+
+
+def acc(pc=0x40, addr=0, rtype=AccessType.LOAD, prefetch=False):
+    return PolicyAccess(pc=pc, addr=addr, core=0, rtype=rtype,
+                        prefetch=prefetch)
+
+
+def seq(blocks, pc_of=lambda b: 0x10):
+    return [(pc_of(b), b * 64) for b in blocks]
+
+
+# ----------------------------------------------------------------------
+# Hawkeye
+# ----------------------------------------------------------------------
+
+def test_hawkeye_predictor_trains_and_saturates():
+    p = HawkeyePredictor(entries=64)
+    pc = 0x1234
+    assert p.friendly(pc)                 # starts at threshold
+    for _ in range(10):
+        p.train(pc, hit=False)
+    assert not p.friendly(pc)
+    for _ in range(20):
+        p.train(pc, hit=True)
+    assert p.friendly(pc)
+
+
+def test_hawkeye_predictor_separates_prefetch_class():
+    p = HawkeyePredictor(entries=4096)
+    pc = 0x40
+    for _ in range(10):
+        p.train(pc, hit=False, prefetch=True)
+    assert p.friendly(pc, prefetch=False)
+    assert not p.friendly(pc, prefetch=True)
+
+
+def test_hawkeye_averse_fill_is_first_victim():
+    pol = make_policy("hawkeye", sets=8, ways=2)
+    blocks = [None] * 2
+    # make pc 0xBAD averse
+    for _ in range(10):
+        pol.predictor.train(0xBAD, hit=False)
+    pol.on_fill(1, 0, blocks, acc(pc=0x600D))
+    pol.on_fill(1, 1, blocks, acc(pc=0xBAD))
+    assert pol.find_victim(1, blocks, acc()) == 1
+
+
+def test_hawkeye_forced_eviction_detrains():
+    pol = make_policy("hawkeye", sets=8, ways=2)
+    blocks = [None] * 2
+    pc = 0x77
+    pol.on_fill(1, 0, blocks, acc(pc=pc))
+    pol.on_fill(1, 1, blocks, acc(pc=pc))
+    pol.on_hit(1, 0, blocks, acc(pc=pc))
+    pol.on_hit(1, 1, blocks, acc(pc=pc))   # both friendly at age 0
+    idx = pol.predictor._index(pc, False)
+    before = pol.predictor._table[idx]
+    pol.find_victim(1, blocks, acc())
+    assert pol.predictor._table[idx] == before - 1
+
+
+def test_hawkeye_writeback_inserts_averse():
+    pol = make_policy("hawkeye", sets=8, ways=2)
+    blocks = [None] * 2
+    pol.on_fill(2, 0, blocks, acc(rtype=AccessType.WRITEBACK))
+    assert pol._age[2][0] == pol.MAX_AGE
+
+
+def test_hawkeye_beats_lru_on_mixed_reuse_scan():
+    reuse = list(range(8))
+    stream = list(range(1000, 1600))
+    pattern = []
+    for i in range(20):
+        pattern += reuse + stream[30 * i:30 * (i + 1)]
+    addrs = seq(pattern, pc_of=lambda b: 0x10 if b < 8 else 0x20)
+    lru = simulate_cache(addrs, sets=2, ways=8, policy="lru")
+    hawk = simulate_cache(addrs, sets=2, ways=8, policy="hawkeye",
+                          sampled_target=2)
+    assert hawk.hits > lru.hits
+
+
+# ----------------------------------------------------------------------
+# Glider
+# ----------------------------------------------------------------------
+
+def test_glider_isvm_trains_with_margin():
+    pol = make_policy("glider", sets=8, ways=2)
+    hist = (1, 2, 3, 4, 5)
+    pc = 0x90
+    for _ in range(100):
+        pol.isvm.train(pc, hist, hit=True)
+    # margin training stops at the training threshold
+    assert pol.isvm.raw_sum(pc, hist) <= pol.isvm.train_threshold + len(hist)
+    assert pol.isvm.friendly(pc, hist)
+    for _ in range(200):
+        pol.isvm.train(pc, hist, hit=False)
+    assert not pol.isvm.friendly(pc, hist)
+
+
+def test_glider_history_is_per_core():
+    pol = make_policy("glider", sets=8, ways=2, n_cores=2)
+    blocks = [None] * 2
+    pol.on_fill(1, 0, blocks, PolicyAccess(pc=0x10, addr=0, core=0,
+                                           rtype=AccessType.LOAD))
+    assert len(pol._pchr[0]) == 1
+    assert len(pol._pchr[1]) == 0
+
+
+def test_glider_improves_on_reuse_scan_mix():
+    reuse = list(range(8))
+    stream = list(range(1000, 1600))
+    pattern = []
+    for i in range(20):
+        pattern += reuse + stream[30 * i:30 * (i + 1)]
+    addrs = seq(pattern, pc_of=lambda b: 0x10 if b < 8 else 0x20)
+    lru = simulate_cache(addrs, sets=2, ways=8, policy="lru")
+    glider = simulate_cache(addrs, sets=2, ways=8, policy="glider",
+                            sampled_target=2)
+    assert glider.hits > lru.hits
+
+
+# ----------------------------------------------------------------------
+# Mockingjay
+# ----------------------------------------------------------------------
+
+def test_rdp_snaps_when_close_jumps_when_far():
+    rdp = ReuseDistancePredictor(entries=64)
+    rdp.train(0x1, 100)
+    assert rdp.predict(0x1) == 100
+    rdp.train(0x1, 104)               # close: snap
+    assert rdp.predict(0x1) == 104
+    rdp.train(0x1, 504)               # far: move a quarter
+    assert rdp.predict(0x1) == 204
+
+
+def test_mockingjay_evicts_farthest_predicted_reuse():
+    pol = make_policy("mockingjay", sets=8, ways=2)
+    blocks = [None] * 2
+    near_pc, far_pc = 0x1, 0x2
+    for _ in range(4):
+        pol.rdp.train(near_pc, 2)
+        pol.rdp.train(far_pc, 900)
+    pol.on_fill(1, 0, blocks, acc(pc=near_pc))
+    pol.on_fill(1, 1, blocks, acc(pc=far_pc))
+    assert pol.find_victim(1, blocks, acc()) == 1
+
+
+def test_mockingjay_sampler_trains_observed_distance():
+    pol = make_policy("mockingjay", sets=8, ways=4)
+    s = next(iter(pol.sampled))
+    blocks = [None] * 4
+    pc = 0x5
+    pol.on_fill(s, 0, blocks, acc(pc=pc, addr=0x0))
+    for i in range(1, 4):
+        pol.on_fill(s, i, blocks, acc(pc=0x99, addr=i * 64))
+    pol.on_hit(s, 0, blocks, acc(pc=pc, addr=0x0))
+    assert pol.rdp.predict(pc) == 4    # 4 sampler accesses since the fill
+
+
+def test_mockingjay_beats_lru_on_chase_plus_reuse():
+    # dead one-shot stream (never reused) + hot reuse set
+    hot = list(range(6))
+    dead = list(range(2000, 2600))
+    pattern = []
+    for i in range(20):
+        pattern += hot + dead[30 * i:30 * (i + 1)]
+    addrs = seq(pattern, pc_of=lambda b: 0x10 if b < 8 else 0x20)
+    lru = simulate_cache(addrs, sets=2, ways=8, policy="lru")
+    mj = simulate_cache(addrs, sets=2, ways=8, policy="mockingjay",
+                        sampled_target=2)
+    assert mj.hits > lru.hits
+
+
+# ----------------------------------------------------------------------
+# Belady OPT
+# ----------------------------------------------------------------------
+
+def test_opt_requires_future_knowledge():
+    pol = make_policy("opt", sets=1, ways=2)
+    with pytest.raises(ValueError, match="future"):
+        pol.on_fill(0, 0, [None] * 2, acc())
+
+
+def test_opt_is_optimal_on_cyclic_pattern():
+    # loop of 3 blocks over 2-way cache: OPT hit rate = 1/3 asymptotically
+    addrs = seq([1, 2, 3] * 30)
+    opt = simulate_cache(addrs, sets=1, ways=2, policy="opt")
+    lru = simulate_cache(addrs, sets=1, ways=2, policy="lru")
+    assert lru.hits == 0
+    assert opt.hits >= 25
+
+
+def test_opt_never_loses_to_any_policy(rng):
+    addrs = [(0, rng.randrange(64) * 64) for _ in range(2000)]
+    opt = simulate_cache(addrs, sets=2, ways=4, policy="opt")
+    for other in ("lru", "fifo", "random", "srrip", "lfu"):
+        r = simulate_cache(addrs, sets=2, ways=4, policy=other)
+        assert opt.hits >= r.hits, other

@@ -1,0 +1,141 @@
+"""Property-based invariants (hypothesis) across the core data structures."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dtrm import DTRM
+from repro.core.sht import SignatureHistoryTable
+from repro.harness import simulate_cache
+from repro.policies.base import PolicyAccess
+from repro.policies.registry import available_policies, make_policy
+from repro.sim.request import AccessType
+
+TIMING_FREE_POLICIES = [p for p in available_policies() if p != "opt"]
+
+
+@st.composite
+def address_streams(draw):
+    n = draw(st.integers(50, 400))
+    blocks = draw(st.integers(4, 128))
+    seed = draw(st.integers(0, 2 ** 16))
+    r = random.Random(seed)
+    return [(r.randrange(16), r.randrange(blocks) * 64) for _ in range(n)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(address_streams(), st.sampled_from(TIMING_FREE_POLICIES))
+def test_any_policy_conserves_accesses(stream, policy):
+    """hits + misses == accesses, and eviction count is consistent."""
+    res = simulate_cache(stream, sets=4, ways=2, policy=policy, seed=1)
+    assert res.hits + res.misses == len(stream)
+    # every miss either filled an invalid way or evicted
+    assert res.evictions <= res.misses
+    assert res.misses - res.evictions <= 4 * 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(address_streams())
+def test_opt_dominates_every_policy(stream):
+    """Belady's bound: no policy can beat OPT on hits."""
+    opt = simulate_cache(stream, sets=2, ways=2, policy="opt")
+    for policy in ("lru", "fifo", "random", "srrip", "lfu", "ship"):
+        other = simulate_cache(stream, sets=2, ways=2, policy=policy, seed=2)
+        assert opt.hits >= other.hits, policy
+
+
+@settings(max_examples=30, deadline=None)
+@given(address_streams())
+def test_larger_cache_never_hurts_lru(stream):
+    """LRU has the inclusion property: more ways -> no fewer hits."""
+    small = simulate_cache(stream, sets=2, ways=2, policy="lru")
+    big = simulate_cache(stream, sets=2, ways=4, policy="lru")
+    assert big.hits >= small.hits
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=5000,
+                          allow_nan=False), min_size=0, max_size=400))
+def test_dtrm_invariants_hold_for_any_pmc_stream(pmcs):
+    d = DTRM(period=37)
+    for v in pmcs:
+        s = d.observe(v)
+        assert s in (DTRM.PMCS_CHEAP, DTRM.PMCS_MID, DTRM.PMCS_COSTLY)
+        assert d.low >= d.cfg.min_low
+        assert d.high >= d.low + d.cfg.min_gap
+    assert d.total_misses == len(pmcs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 200), st.booleans(),
+                          st.booleans()), max_size=300))
+def test_sht_counters_stay_in_range(ops):
+    sht = SignatureHistoryTable(entries=32)
+    for sig, which, up in ops:
+        if which:
+            (sht.rc_increment if up else sht.rc_decrement)(sig)
+        else:
+            (sht.pd_increment if up else sht.pd_decrement)(sig)
+        assert 0 <= sht.rc(sig) <= sht.max_value
+        assert 0 <= sht.pd(sig) <= sht.max_value
+
+
+@settings(max_examples=25, deadline=None)
+@given(address_streams(), st.sampled_from(["care", "mcare", "shippp",
+                                           "hawkeye", "glider",
+                                           "mockingjay", "sbar"]))
+def test_advanced_policies_return_valid_victims(stream, policy):
+    """Drive the policy API directly with adversarial inputs."""
+    pol = make_policy(policy, sets=2, ways=2, seed=3)
+    blocks = [None, None]
+    r = random.Random(9)
+    for pc, addr in stream:
+        access = PolicyAccess(
+            pc=pc, addr=addr, core=0,
+            rtype=r.choice([AccessType.LOAD, AccessType.RFO,
+                            AccessType.PREFETCH, AccessType.WRITEBACK]),
+            prefetch=r.random() < 0.3,
+            pmc=r.random() * 500, mlp_cost=r.random() * 500)
+        set_idx = (addr >> 6) & 1
+        kind = r.randrange(3)
+        if kind == 0:
+            way = pol.find_victim(set_idx, blocks, access)
+            assert 0 <= way < 2
+            pol.on_evict(set_idx, way, blocks, access)
+            pol.on_fill(set_idx, way, blocks, access)
+        elif kind == 1:
+            pol.on_hit(set_idx, r.randrange(2), blocks, access)
+        else:
+            pol.on_fill(set_idx, r.randrange(2), blocks, access)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 64), st.integers(1, 16))
+def test_monitor_pmc_conservation(n_misses, base_latency):
+    """Σ PMC over completed misses == total active pure miss cycles."""
+    from repro.core.pmc import ConcurrencyMonitor
+    from repro.sim import Engine, MemRequest
+    from repro.sim.mshr import MSHREntry
+
+    eng = Engine()
+    mon = ConcurrencyMonitor(eng, 1, base_latency)
+    rng = random.Random(n_misses * 31 + base_latency)
+    entries = []
+    for i in range(n_misses):
+        start = rng.randrange(1, 100)
+        dur = rng.randrange(1, 40)
+        reqm = MemRequest(addr=i * 64, pc=i, core=0, rtype=AccessType.LOAD)
+        e = MSHREntry(block=i, primary=reqm,
+                      issue_time=start + base_latency, core=0)
+        entries.append(e)
+        eng.at(start, lambda t=start: mon.on_access(0, t))
+        eng.at(start + base_latency,
+               lambda e=e, t=start + base_latency: mon.on_miss_start(0, t, e))
+        end = start + base_latency + dur
+        eng.at(end, lambda e=e, t=end: mon.on_miss_end(0, t, e))
+    eng.run()
+    mon.finalize()
+    stats = mon.core_stats(0)
+    total_pmc = sum(e.pmc for e in entries)
+    assert abs(total_pmc - stats.pure_miss_cycles) < 1e-6

@@ -1,0 +1,109 @@
+"""MemRequest semantics and MSHR allocate/merge/free behavior."""
+
+import pytest
+
+from repro.sim import MSHR, AccessType, MemRequest
+
+
+def _req(addr=0x1000, rtype=AccessType.LOAD, core=0, pc=0x40):
+    return MemRequest(addr=addr, pc=pc, core=core, rtype=rtype)
+
+
+def test_block_is_64b_aligned():
+    assert _req(addr=0x1000).block == _req(addr=0x103F).block
+    assert _req(addr=0x1000).block != _req(addr=0x1040).block
+
+
+def test_respond_invokes_callback_with_time():
+    seen = []
+    r = _req()
+    r.callback = lambda req, t: seen.append((req, t))
+    r.respond(42, served_by="LLC")
+    assert seen == [(r, 42)]
+    assert r.completed == 42 and r.served_by == "LLC"
+
+
+def test_child_inherits_identity_fields():
+    r = _req(rtype=AccessType.RFO, core=2)
+    child = r.child(created=10)
+    assert (child.addr, child.pc, child.core) == (r.addr, r.pc, r.core)
+    assert child.rtype == AccessType.RFO
+    assert child.req_id != r.req_id
+
+
+def test_demand_classification():
+    assert AccessType.LOAD.is_demand and AccessType.RFO.is_demand
+    assert not AccessType.PREFETCH.is_demand
+    assert not AccessType.WRITEBACK.is_demand
+
+
+def test_mshr_allocate_and_free():
+    m = MSHR(2)
+    r = _req()
+    entry = m.allocate(r, time=5)
+    assert entry.issue_time == 5 and entry.core == 0
+    assert m.lookup(r.block) is entry
+    assert len(m) == 1
+    freed = m.free(r.block)
+    assert freed is entry and len(m) == 0
+
+
+def test_mshr_merge_collects_waiters():
+    m = MSHR(2)
+    r1 = _req()
+    entry = m.allocate(r1, 0)
+    r2 = _req()
+    m.merge(r1.block, r2)
+    assert entry.waiters == [r1, r2]
+    assert m.merges == 1
+
+
+def test_mshr_full_and_overflow_guard():
+    m = MSHR(1)
+    m.allocate(_req(addr=0x0), 0)
+    assert m.full
+    with pytest.raises(RuntimeError):
+        m.allocate(_req(addr=0x40), 0)
+
+
+def test_mshr_duplicate_allocation_rejected():
+    m = MSHR(4)
+    m.allocate(_req(addr=0x80), 0)
+    with pytest.raises(RuntimeError):
+        m.allocate(_req(addr=0x80), 1)
+
+
+def test_prefetch_promotion_on_demand_merge():
+    m = MSHR(4)
+    p = _req(rtype=AccessType.PREFETCH)
+    entry = m.allocate(p, 0)
+    assert entry.prefetch_only
+    m.merge(p.block, _req(rtype=AccessType.LOAD))
+    assert not entry.prefetch_only
+
+
+def test_has_rfo_detects_store_waiters():
+    m = MSHR(4)
+    entry = m.allocate(_req(rtype=AccessType.LOAD), 0)
+    assert not entry.has_rfo
+    m.merge(entry.block, _req(rtype=AccessType.RFO))
+    assert entry.has_rfo
+
+
+def test_outstanding_per_core_counts():
+    m = MSHR(8)
+    m.allocate(_req(addr=0x000, core=0), 0)
+    m.allocate(_req(addr=0x040, core=0), 0)
+    m.allocate(_req(addr=0x080, core=1), 0)
+    assert m.outstanding_for_core(0) == 2
+    assert m.outstanding_for_core(1) == 1
+    assert m.outstanding_for_core(2) == 0
+    assert {e.block for e in m.entries_for_core(0)} == {0, 1}
+
+
+def test_peak_occupancy_tracked():
+    m = MSHR(4)
+    for i in range(3):
+        m.allocate(_req(addr=i * 64), 0)
+    m.free(0)
+    assert m.peak_occupancy == 3

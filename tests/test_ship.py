@@ -1,0 +1,170 @@
+"""SHiP and SHiP++: SHCT training, insertion decisions, prefetch handling."""
+
+import pytest
+
+from repro.policies.base import PolicyAccess
+from repro.policies.registry import make_policy
+from repro.policies.ship import SHCT
+from repro.sim.request import AccessType
+from repro.core.signatures import pc_signature
+
+
+def acc(pc=0x40, rtype=AccessType.LOAD, prefetch=False, addr=0):
+    return PolicyAccess(pc=pc, addr=addr, core=0, rtype=rtype,
+                        prefetch=prefetch)
+
+
+def sampled_set(pol):
+    return next(iter(pol.sampled))
+
+
+# ----------------------------------------------------------------------
+# SHCT
+# ----------------------------------------------------------------------
+
+def test_shct_saturates_both_ends():
+    t = SHCT(entries=8, bits=2, initial=1)
+    for _ in range(10):
+        t.increment(3)
+    assert t[3] == 3
+    for _ in range(10):
+        t.decrement(3)
+    assert t[3] == 0
+
+
+def test_shct_initial_value_respected():
+    assert SHCT(initial=2)[0] == 2
+    with pytest.raises(ValueError):
+        SHCT(bits=2, initial=9)
+
+
+# ----------------------------------------------------------------------
+# SHiP
+# ----------------------------------------------------------------------
+
+def test_ship_dead_signature_inserts_distant():
+    pol = make_policy("ship", sets=8, ways=2)
+    s = sampled_set(pol)
+    blocks = [None] * 2
+    pc = 0x77
+    # Train the signature dead: fill + evict without reuse, repeatedly.
+    for _ in range(4):
+        pol.on_fill(s, 0, blocks, acc(pc=pc))
+        pol.on_evict(s, 0, blocks, acc())
+    sig = pc_signature(pc, False)
+    assert pol.shct[sig] == 0
+    pol.on_fill(0, 0, blocks, acc(pc=pc))
+    assert pol.rrpv[0][0] == pol.rrpv_max
+
+
+def test_ship_first_reuse_trains_up_once():
+    pol = make_policy("ship", sets=8, ways=2)
+    s = sampled_set(pol)
+    blocks = [None] * 2
+    pc = 0x99
+    sig = pc_signature(pc, False)
+    before = pol.shct[sig]
+    pol.on_fill(s, 0, blocks, acc(pc=pc))
+    pol.on_hit(s, 0, blocks, acc(pc=pc))
+    pol.on_hit(s, 0, blocks, acc(pc=pc))   # second hit must not retrain
+    assert pol.shct[sig] == before + 1
+
+
+def test_ship_eviction_without_reuse_trains_down():
+    pol = make_policy("ship", sets=8, ways=2)
+    s = sampled_set(pol)
+    blocks = [None] * 2
+    pc = 0xAB
+    sig = pc_signature(pc, False)
+    before = pol.shct[sig]
+    pol.on_fill(s, 0, blocks, acc(pc=pc))
+    pol.on_evict(s, 0, blocks, acc())
+    assert pol.shct[sig] == before - 1
+
+
+def test_ship_reused_block_eviction_does_not_train_down():
+    pol = make_policy("ship", sets=8, ways=2)
+    s = sampled_set(pol)
+    blocks = [None] * 2
+    pc = 0xCD
+    sig = pc_signature(pc, False)
+    pol.on_fill(s, 0, blocks, acc(pc=pc))
+    pol.on_hit(s, 0, blocks, acc(pc=pc))
+    trained = pol.shct[sig]
+    pol.on_evict(s, 0, blocks, acc())
+    assert pol.shct[sig] == trained
+
+
+def test_ship_signature_ignores_prefetch_bit():
+    pol = make_policy("ship", sets=8, ways=2)
+    a = acc(pc=0x10, prefetch=True)
+    b = acc(pc=0x10, prefetch=False)
+    assert pol.signature(a) == pol.signature(b)
+
+
+# ----------------------------------------------------------------------
+# SHiP++
+# ----------------------------------------------------------------------
+
+def test_shippp_signature_distinguishes_prefetch():
+    pol = make_policy("shippp", sets=8, ways=2)
+    a = acc(pc=0x10, prefetch=True)
+    b = acc(pc=0x10, prefetch=False)
+    assert pol.signature(a) != pol.signature(b)
+
+
+def test_shippp_writebacks_insert_distant_and_do_not_train():
+    pol = make_policy("shippp", sets=8, ways=2)
+    s = sampled_set(pol)
+    blocks = [None] * 2
+    wb = acc(rtype=AccessType.WRITEBACK)
+    sig = pol.signature(wb)
+    before = pol.shct[sig]
+    pol.on_fill(s, 0, blocks, wb)
+    assert pol.rrpv[s][0] == pol.rrpv_max
+    pol.on_hit(s, 0, blocks, wb)
+    assert pol.shct[sig] == before
+
+
+def test_shippp_saturated_signature_inserts_mru():
+    pol = make_policy("shippp", sets=8, ways=2)
+    s = sampled_set(pol)
+    blocks = [None] * 2
+    pc = 0x55
+    sig = pc_signature(pc, False)
+    for _ in range(10):   # saturate via repeated first-reuses
+        pol.on_fill(s, 0, blocks, acc(pc=pc))
+        pol.on_hit(s, 0, blocks, acc(pc=pc))
+    assert pol.shct[sig] == pol.shct.max_value
+    pol.on_fill(1, 0, blocks, acc(pc=pc))
+    assert pol.rrpv[1][0] == 0
+
+
+def test_shippp_prefetch_fill_insertion():
+    pol = make_policy("shippp", sets=8, ways=2)
+    blocks = [None] * 2
+    # Unproven prefetch signature (counter > 0): long position, so a
+    # timely prefetch survives until its demand.
+    pol.on_fill(1, 0, blocks, acc(pc=0xE0, rtype=AccessType.PREFETCH,
+                                  prefetch=True))
+    assert pol.rrpv[1][0] == pol.rrpv_max - 1
+    # Dead prefetch signature (counter == 0): distant.
+    s = sampled_set(pol)
+    dead = acc(pc=0xE4, rtype=AccessType.PREFETCH, prefetch=True)
+    for _ in range(4):
+        pol.on_fill(s, 0, blocks, dead)
+        pol.on_evict(s, 0, blocks, dead)
+    pol.on_fill(1, 1, blocks, dead)
+    assert pol.rrpv[1][1] == pol.rrpv_max
+
+
+def test_shippp_prefetch_hit_on_unreferenced_block_is_ignored():
+    pol = make_policy("shippp", sets=8, ways=2)
+    s = sampled_set(pol)
+    blocks = [None] * 2
+    pol.on_fill(s, 0, blocks, acc(pc=0xF0, rtype=AccessType.PREFETCH,
+                                  prefetch=True))
+    rrpv_before = pol.rrpv[s][0]
+    pol.on_hit(s, 0, blocks, acc(pc=0xF0, rtype=AccessType.PREFETCH,
+                                 prefetch=True))
+    assert pol.rrpv[s][0] == rrpv_before

@@ -1,0 +1,154 @@
+"""SHT counters / SBP classification (Section V-B/C) and DTRM (Section V-F)."""
+
+import pytest
+
+from repro.core.dtrm import DTRM, DTRMConfig
+from repro.core.sht import CostClass, ReuseClass, SignatureHistoryTable
+from repro.core.signatures import SIG_ENTRIES, hash_pc, pc_signature
+
+
+# ----------------------------------------------------------------------
+# Signatures
+# ----------------------------------------------------------------------
+
+def test_signature_is_14_bits():
+    for pc in (0, 0x400000, 0xFFFFFFFF, 123456789):
+        for pf in (False, True):
+            assert 0 <= pc_signature(pc, pf) < SIG_ENTRIES
+
+
+def test_signature_prefetch_bit_separates_classes():
+    assert pc_signature(0x40, True) != pc_signature(0x40, False)
+
+
+def test_signature_deterministic():
+    assert pc_signature(0x1234) == pc_signature(0x1234)
+
+
+def test_hash_pc_spreads_dense_pcs():
+    values = {hash_pc(0x400000 + 4 * i) for i in range(256)}
+    assert len(values) > 200   # few collisions on dense PC ranges
+
+
+# ----------------------------------------------------------------------
+# SHT
+# ----------------------------------------------------------------------
+
+def test_sht_counters_saturate():
+    sht = SignatureHistoryTable(entries=16, rc_init=2, pd_init=2)
+    for _ in range(20):
+        sht.rc_increment(3)
+        sht.pd_decrement(3)
+    assert sht.rc(3) == sht.max_value
+    assert sht.pd(3) == 0
+    for _ in range(20):
+        sht.rc_decrement(3)
+        sht.pd_increment(3)
+    assert sht.rc(3) == 0
+    assert sht.pd(3) == sht.max_value
+
+
+def test_sbp_reuse_classification():
+    sht = SignatureHistoryTable(entries=8, rc_init=2)
+    assert sht.reuse_class(0) == ReuseClass.MODERATE
+    for _ in range(8):
+        sht.rc_increment(0)
+    assert sht.reuse_class(0) == ReuseClass.HIGH
+    for _ in range(8):
+        sht.rc_decrement(0)
+    assert sht.reuse_class(0) == ReuseClass.LOW
+
+
+def test_sbp_cost_classification():
+    sht = SignatureHistoryTable(entries=8, pd_init=2)
+    assert sht.cost_class(0) == CostClass.MODERATE
+    for _ in range(8):
+        sht.pd_increment(0)
+    assert sht.cost_class(0) == CostClass.HIGH
+    for _ in range(8):
+        sht.pd_decrement(0)
+    assert sht.cost_class(0) == CostClass.LOW
+
+
+def test_sht_index_wraps():
+    sht = SignatureHistoryTable(entries=4)
+    sht.rc_increment(5)
+    assert sht.rc(1) == sht.rc(5)
+
+
+def test_sht_rejects_bad_init():
+    with pytest.raises(ValueError):
+        SignatureHistoryTable(counter_bits=3, rc_init=8)
+
+
+# ----------------------------------------------------------------------
+# DTRM
+# ----------------------------------------------------------------------
+
+def test_dtrm_quantization_bands():
+    d = DTRM(period=100, config=DTRMConfig(initial_low=50, initial_high=350))
+    assert d.quantize(0) == DTRM.PMCS_CHEAP
+    assert d.quantize(49.9) == DTRM.PMCS_CHEAP
+    assert d.quantize(50) == DTRM.PMCS_MID
+    assert d.quantize(350) == DTRM.PMCS_MID
+    assert d.quantize(350.1) == DTRM.PMCS_COSTLY
+
+
+def test_dtrm_loosens_when_costly_scarce():
+    cfg = DTRMConfig(initial_low=50, initial_high=350, low_step=10,
+                     high_step=70)
+    d = DTRM(period=1000, config=cfg)
+    for _ in range(1000):       # no costly misses at all
+        d.observe(10.0)
+    assert d.low == 40 and d.high == 280
+
+
+def test_dtrm_tightens_when_costly_common():
+    cfg = DTRMConfig(initial_low=50, initial_high=350, low_step=10,
+                     high_step=70)
+    d = DTRM(period=1000, config=cfg)
+    for _ in range(1000):       # every miss costly
+        d.observe(1000.0)
+    assert d.low == 60 and d.high == 420
+
+
+def test_dtrm_stable_inside_band():
+    d = DTRM(period=1000)
+    # 2% costly: between 0.5% and 5% -> no movement.
+    for i in range(1000):
+        d.observe(10_000.0 if i % 50 == 0 else 10.0)
+    assert (d.low, d.high) == (DTRMConfig().initial_low,
+                               DTRMConfig().initial_high)
+
+
+def test_dtrm_thresholds_never_cross():
+    cfg = DTRMConfig(initial_low=20, initial_high=40, low_step=10,
+                     high_step=70, min_low=0, min_gap=10)
+    d = DTRM(period=10, config=cfg)
+    for _ in range(100):
+        d.observe(0.0)
+    assert d.low >= 0
+    assert d.high >= d.low + 10
+
+
+def test_dtrm_frozen_when_not_adaptive():
+    d = DTRM(period=10, adaptive=False)
+    init = (d.low, d.high)
+    for _ in range(100):
+        d.observe(0.0)
+    assert (d.low, d.high) == init
+    assert len(d.threshold_history) == 10   # periods still recorded
+
+
+def test_dtrm_counts_tcm():
+    d = DTRM(period=100)
+    for i in range(50):
+        d.observe(1e6)
+    assert d.total_costly == 50
+    assert d.total_misses == 50
+
+
+def test_dtrm_paper_config():
+    cfg = DTRMConfig.paper()
+    assert (cfg.initial_low, cfg.initial_high) == (50.0, 350.0)
+    assert (cfg.low_step, cfg.high_step) == (10.0, 70.0)

