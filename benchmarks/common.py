@@ -3,8 +3,14 @@
 Each benchmark regenerates one paper table/figure as text: it prints the
 rows (visible with ``pytest -s`` / in benchmark output) and also writes them
 to ``benchmarks/results/<name>.txt`` so a full run leaves a reviewable
-artifact trail.  Scale knobs are documented in
-:mod:`repro.harness.experiment` (``REPRO_BENCH_*`` environment variables).
+artifact trail.
+
+Every simulation point routes through :mod:`repro.harness.runner`, so a
+rerun in a fresh process serves previously-simulated points from the
+persistent result store (``$REPRO_RESULT_STORE``); conftest prints the
+cache-hit accounting at the end of the session.  Scale knobs are
+documented in :mod:`repro.harness.scale` (``REPRO_BENCH_*`` environment
+variables); ``REPRO_WORKERS`` parallelizes the sweeps.
 """
 
 from __future__ import annotations

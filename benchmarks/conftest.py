@@ -1,21 +1,39 @@
-"""Make the shared helpers importable and report the bench scale in use."""
+"""Make the shared helpers importable, report the bench scale in use, and
+summarize sweep-engine cache behaviour at the end of the session."""
 
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from repro.harness.experiment import (  # noqa: E402
-    BENCH_MIXES,
-    BENCH_RECORDS,
-    BENCH_WORKLOADS,
-)
+from repro.harness.runner import session_stats  # noqa: E402
+from repro.harness.scale import get_scale  # noqa: E402
+from repro.harness.store import default_store  # noqa: E402
 
 
 def pytest_report_header(config):
+    scale = get_scale()
+    store = default_store()
+    where = str(store.namespace) if store is not None else "disabled"
     return (
-        f"repro bench scale: records/core={BENCH_RECORDS} "
-        f"workloads={BENCH_WORKLOADS} mixes={BENCH_MIXES} "
+        f"repro bench scale: records/core={scale.records} "
+        f"workloads={scale.workloads} mixes={scale.mixes} "
         "(override with REPRO_BENCH_RECORDS / REPRO_BENCH_WORKLOADS / "
-        "REPRO_BENCH_MIXES)"
+        f"REPRO_BENCH_MIXES) | result store: {where} "
+        "(REPRO_RESULT_STORE) | workers: REPRO_WORKERS"
     )
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Cache-hit accounting: how much of this run was re-simulation."""
+    stats = session_stats
+    if stats.points == 0:
+        return
+    terminalreporter.write_sep("-", "repro sweep engine")
+    terminalreporter.write_line(stats.summary())
+    store = default_store()
+    if store is not None:
+        s = store.stats()
+        terminalreporter.write_line(
+            f"result store: {s['hits']} hits, {s['misses']} misses, "
+            f"{s['writes']} writes ({store.namespace})")

@@ -7,6 +7,12 @@ Commands
 ``studycase``  print the Fig. 2 study case analysis (Tables I & II)
 ``hwcost``     print the Table V / VI hardware-cost accounting
 ``run``        simulate one workload under one or more LLC policies
+``sweep``      run a named figure sweep through the parallel runner
+
+``run`` and ``sweep`` resolve every point through the persistent result
+store (``~/.cache/repro-care/results`` or ``$REPRO_RESULT_STORE``), so
+repeated invocations reuse earlier simulations; ``--workers`` /
+``$REPRO_WORKERS`` fan fresh points out over a process pool.
 """
 
 from __future__ import annotations
@@ -67,24 +73,36 @@ def _cmd_hwcost(_args) -> int:
 
 
 def _cmd_run(args) -> int:
+    import json
+
     from .analysis import format_table
-    from .sim import SystemConfig, simulate
-    from .workloads import gap_workload_names, multicopy_traces
+    from .harness import ExperimentSpec, run_many
+    from .workloads import gap_workload_names
 
     if args.workload in gap_workload_names():
         suite = "gap"
     else:
         suite = "spec"
-    traces = multicopy_traces(args.workload, args.cores, args.records,
-                              seed=args.seed, suite=suite)
-    cfg = SystemConfig.default(args.cores)
+    store = None if args.no_store else _default_store_arg()
+    try:
+        specs = [ExperimentSpec.multicopy(
+                     args.workload, policy, n_cores=args.cores,
+                     prefetch=args.prefetch, suite=suite,
+                     n_records=args.records // 2, seed=args.seed)
+                 for policy in args.policies]
+    except ValueError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    results = run_many(specs, workers=args.workers, store=store)
+    if args.json:
+        print(json.dumps(
+            [{"spec": spec.to_dict(), "result": res.to_dict()}
+             for spec, res in zip(specs, results)],
+            sort_keys=True, indent=2))
+        return 0
     rows = []
     base = None
-    for policy in args.policies:
-        res = simulate([t.records for t in traces], cfg=cfg,
-                       llc_policy=policy, prefetch=args.prefetch,
-                       measure_records=args.records // 2,
-                       warmup_records=args.records // 2, seed=args.seed)
+    for policy, res in zip(args.policies, results):
         total = sum(res.ipc)
         if base is None:
             base = total
@@ -97,6 +115,44 @@ def _cmd_run(args) -> int:
     print(format_table(
         ["policy", "sum IPC", "vs first", "MPKI", "pMR", "mean PMC",
          "AOCPA"], rows))
+    return 0
+
+
+def _default_store_arg():
+    from .harness.runner import USE_DEFAULT_STORE
+    return USE_DEFAULT_STORE
+
+
+def _cmd_sweep(args) -> int:
+    from .harness.runner import session_stats
+    from .harness.scale import scale_override
+    from .harness.store import set_default_store
+    from .harness.sweeps import available_sweeps, run_sweep
+
+    if args.list or not args.name:
+        for name, title in available_sweeps():
+            print(f"{name:8s} {title}")
+        return 0
+    if args.no_store:
+        set_default_store(None)
+    overrides = {}
+    if args.records is not None:
+        overrides["records"] = args.records
+    if args.workloads is not None:
+        overrides["workloads"] = args.workloads
+    if args.mixes is not None:
+        overrides["mixes"] = args.mixes
+    try:
+        with scale_override(**overrides):
+            text = run_sweep(args.name, workers=args.workers,
+                             progress=not args.quiet)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(text)
+    if session_stats.sweeps:
+        print(f"\n[sweep] {session_stats.sweeps[-1].summary()}")
+    print(f"[sweep] session total: {session_stats.summary()}")
     return 0
 
 
@@ -119,6 +175,33 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--records", type=int, default=8000)
     run.add_argument("--seed", type=int, default=3)
     run.add_argument("--prefetch", action="store_true")
+    run.add_argument("--json", action="store_true",
+                     help="emit specs + full SimResult dicts as JSON")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes (default $REPRO_WORKERS or 1; "
+                          "0 = one per CPU)")
+    run.add_argument("--no-store", action="store_true",
+                     help="skip the persistent result store")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a named figure sweep through the parallel runner")
+    sweep.add_argument("name", nargs="?", default=None,
+                       help="figure name, e.g. fig07 (omit to list)")
+    sweep.add_argument("--list", action="store_true",
+                       help="list available sweeps")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default $REPRO_WORKERS or 1; "
+                            "0 = one per CPU)")
+    sweep.add_argument("--records", type=int, default=None,
+                       help="measured records per core")
+    sweep.add_argument("--workloads", type=int, default=None,
+                       help="SPEC workload count for the sweep")
+    sweep.add_argument("--mixes", type=int, default=None,
+                       help="mixed-workload count (fig10)")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-point progress lines")
+    sweep.add_argument("--no-store", action="store_true",
+                       help="skip the persistent result store")
     return parser
 
 
@@ -130,6 +213,7 @@ def main(argv: List[str] = None) -> int:
         "studycase": _cmd_studycase,
         "hwcost": _cmd_hwcost,
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

@@ -100,6 +100,25 @@ class CoreConcurrencyStats:
         """Fraction of misses with hit-miss overlapping (Fig. 3)."""
         return self.hit_miss_overlap_misses / self.misses if self.misses else 0.0
 
+    def to_dict(self) -> Dict:
+        return {
+            "accesses": self.accesses,
+            "demand_accesses": self.demand_accesses,
+            "misses": self.misses,
+            "pure_misses": self.pure_misses,
+            "hit_miss_overlap_misses": self.hit_miss_overlap_misses,
+            "pure_miss_cycles": self.pure_miss_cycles,
+            "active_cycles": self.active_cycles,
+            "overlap_cycle_sum": self.overlap_cycle_sum,
+            "pmc_sum": self.pmc_sum,
+            "mlp_sum": self.mlp_sum,
+            "pmc_histogram": list(self.pmc_histogram),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CoreConcurrencyStats":
+        return cls(**data)
+
 
 class _CoreMonitor:
     """PML instance for one core (the paper places one per core)."""

@@ -1,11 +1,19 @@
-"""Experiment orchestration: figure sweeps and the standalone cache sim."""
+"""Experiment orchestration: specs, the parallel runner, the persistent
+result store, figure sweeps, and the standalone cache sim."""
 
 from .cachesim import CacheSimResult, simulate_cache
 from .replication import pairwise_verdicts, replicated_speedups
+from .scale import BenchScale, get_scale, scale_override, set_scale
+from .spec import ExperimentSpec
+from .store import ResultStore, code_fingerprint, default_store, set_default_store
+from .runner import (
+    SweepStats,
+    resolve_workers,
+    run,
+    run_many,
+    session_stats,
+)
 from .experiment import (
-    BENCH_MIXES,
-    BENCH_RECORDS,
-    BENCH_WORKLOADS,
     NOPREFETCH_SCHEMES,
     PREFETCH_SCHEMES,
     bench_gap_workloads,
@@ -18,9 +26,24 @@ from .experiment import (
     speedup_sweep,
 )
 
+_LEGACY_SCALE_ATTRS = ("BENCH_RECORDS", "BENCH_WORKLOADS", "BENCH_MIXES")
+
+
+def __getattr__(name: str):
+    """Legacy scale constants resolve lazily from the active BenchScale."""
+    if name in _LEGACY_SCALE_ATTRS:
+        from . import experiment
+        return getattr(experiment, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "CacheSimResult", "simulate_cache",
     "pairwise_verdicts", "replicated_speedups",
+    "BenchScale", "get_scale", "set_scale", "scale_override",
+    "ExperimentSpec",
+    "ResultStore", "code_fingerprint", "default_store", "set_default_store",
+    "SweepStats", "resolve_workers", "run", "run_many", "session_stats",
     "BENCH_MIXES", "BENCH_RECORDS", "BENCH_WORKLOADS",
     "NOPREFETCH_SCHEMES", "PREFETCH_SCHEMES",
     "bench_gap_workloads", "bench_spec_workloads", "clear_cache",

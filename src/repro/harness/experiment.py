@@ -1,33 +1,33 @@
 """Experiment drivers shared by benchmarks and examples.
 
-Each paper figure is a sweep over (workload, policy, core count, prefetch);
-this module provides seeded, cached runners for those sweeps so multiple
-benchmarks in one pytest session reuse each other's LRU baselines.
+Each paper figure is a sweep over (workload, policy, core count, prefetch).
+Since the sweep-engine redesign these helpers are thin wrappers over
+:mod:`repro.harness.spec` / :mod:`repro.harness.runner`: every call builds
+a frozen :class:`~repro.harness.spec.ExperimentSpec` and resolves it
+through the in-process memo, the persistent result store, and (for
+sweeps) the parallel worker pool.
 
-Scaling knobs (environment variables, read once at import):
+Scaling knobs are provided by :class:`repro.harness.scale.BenchScale`
+(environment variables ``REPRO_BENCH_RECORDS`` / ``REPRO_BENCH_WORKLOADS``
+/ ``REPRO_BENCH_MIXES`` still work as defaults; ``set_scale`` /
+``scale_override`` change them programmatically).  Worker count comes
+from ``workers=`` arguments or ``REPRO_WORKERS``.
 
-* ``REPRO_BENCH_RECORDS`` — measured records per core (default 6000).
-* ``REPRO_BENCH_WORKLOADS`` — how many SPEC workloads figure sweeps use
-  (default 10; ``30`` reproduces the full Table VIII set).
-* ``REPRO_BENCH_MIXES`` — number of Fig. 10 mixed workloads (default 10;
-  the paper runs 100).
-
-Every run still covers every *scheme*; the knobs only bound workload count
-and trace length so the suite finishes at Python speed.
+Every run still covers every *scheme*; the knobs only bound workload
+count and trace length so the suite finishes at Python speed.
 """
 
 from __future__ import annotations
 
-import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from ..analysis.metrics import geometric_mean, normalized_ipc, total_ipc
-from ..sim.config import SystemConfig
+from ..analysis.metrics import geometric_mean, normalized_ipc
 from ..sim.stats import SimResult
-from ..sim.system import System
 from ..workloads.gap import gap_workload_names
-from ..workloads.mixes import mixed_workload_traces
-from ..workloads.spec_like import spec_names, spec_trace
+from ..workloads.spec_like import spec_names
+from .runner import _MEMO, run, run_many
+from .scale import get_scale
+from .spec import ExperimentSpec
 
 #: schemes compared in the with-prefetch figures (Figs. 7-10)
 PREFETCH_SCHEMES = ["lru", "shippp", "hawkeye", "glider", "mcare", "care"]
@@ -35,12 +35,8 @@ PREFETCH_SCHEMES = ["lru", "shippp", "hawkeye", "glider", "mcare", "care"]
 NOPREFETCH_SCHEMES = ["lru", "shippp", "hawkeye", "glider", "mockingjay",
                       "mcare", "care"]
 
-BENCH_RECORDS = int(os.environ.get("REPRO_BENCH_RECORDS", "6000"))
-BENCH_WORKLOADS = int(os.environ.get("REPRO_BENCH_WORKLOADS", "10"))
-BENCH_MIXES = int(os.environ.get("REPRO_BENCH_MIXES", "10"))
-
-#: representative SPEC subset used when BENCH_WORKLOADS < 30 — spans the
-#: pattern classes (chase / stream / stencil / scan / random / hot).
+#: representative SPEC subset used when the workload knob is < 30 — spans
+#: the pattern classes (chase / stream / stencil / scan / random / hot).
 _REPRESENTATIVE = [
     "429.mcf", "462.libquantum", "482.sphinx3", "450.soplex",
     "483.xalancbmk", "437.leslie3d", "470.lbm", "605.mcf_s",
@@ -48,12 +44,25 @@ _REPRESENTATIVE = [
     "603.bwaves_s", "602.gcc_s", "403.gcc", "436.cactusADM",
 ]
 
-_result_cache: Dict[Tuple, SimResult] = {}
+#: legacy alias — the runner's in-process memo (spec -> SimResult)
+_result_cache = _MEMO
+
+_SCALE_ATTRS = {"BENCH_RECORDS": "records", "BENCH_WORKLOADS": "workloads",
+                "BENCH_MIXES": "mixes"}
+
+
+def __getattr__(name: str):
+    """``BENCH_RECORDS`` & friends now resolve lazily from the active
+    :class:`~repro.harness.scale.BenchScale` instead of being frozen at
+    import time."""
+    if name in _SCALE_ATTRS:
+        return getattr(get_scale(), _SCALE_ATTRS[name])
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def bench_spec_workloads(count: Optional[int] = None) -> List[str]:
     """The SPEC workloads a figure sweep covers at the current scale."""
-    n = BENCH_WORKLOADS if count is None else count
+    n = get_scale().workloads if count is None else count
     if n >= 30:
         return spec_names()
     return _REPRESENTATIVE[:max(1, n)]
@@ -68,7 +77,7 @@ def bench_gap_workloads(count: Optional[int] = None) -> List[str]:
     """
     names = gap_workload_names()
     if count is None:
-        count = min(len(names), max(3, BENCH_WORKLOADS))
+        count = min(len(names), max(3, get_scale().workloads))
     count = max(1, min(count, len(names)))
     stride = len(names) / count
     picked = []
@@ -80,20 +89,8 @@ def bench_gap_workloads(count: Optional[int] = None) -> List[str]:
 
 
 def clear_cache() -> None:
+    """Drop the in-process memo (the persistent store is untouched)."""
     _result_cache.clear()
-
-
-def _run(key: Tuple, traces: Sequence, cfg: SystemConfig, policy: str,
-         prefetch: bool, seed: int, collect_deltas: bool) -> SimResult:
-    if key in _result_cache:
-        return _result_cache[key]
-    n = min(len(t) for t in traces)
-    system = System(cfg, traces, llc_policy=policy, prefetch=prefetch,
-                    seed=seed, measure_records=n // 2, warmup_records=n // 2,
-                    collect_deltas=collect_deltas)
-    result = system.run()
-    _result_cache[key] = result
-    return result
 
 
 def run_multicopy(name: str, policy: str, n_cores: int = 4,
@@ -101,17 +98,9 @@ def run_multicopy(name: str, policy: str, n_cores: int = 4,
                   n_records: Optional[int] = None, seed: int = 3,
                   collect_deltas: bool = False) -> SimResult:
     """One multi-copy workload run (Figs. 3, 7-9, 11-14, Tables X-XI)."""
-    n_records = n_records if n_records is not None else BENCH_RECORDS
-    key = ("multicopy", name, policy, n_cores, prefetch, suite, n_records,
-           seed, collect_deltas)
-    if key in _result_cache:
-        return _result_cache[key]
-    from ..workloads.mixes import multicopy_traces
-    traces = multicopy_traces(name, n_cores, 2 * n_records, seed=seed,
-                              suite=suite)
-    cfg = SystemConfig.default(n_cores)
-    return _run(key, [t.records for t in traces], cfg, policy, prefetch,
-                seed, collect_deltas)
+    return run(ExperimentSpec.multicopy(
+        name, policy, n_cores=n_cores, prefetch=prefetch, suite=suite,
+        n_records=n_records, seed=seed, collect_deltas=collect_deltas))
 
 
 def run_single(name: str, policy: str = "lru", prefetch: bool = False,
@@ -127,30 +116,40 @@ def run_mix(mix_id: int, policy: str, n_cores: int = 4,
             prefetch: bool = True, n_records: Optional[int] = None,
             seed: int = 3) -> SimResult:
     """One Fig. 10 mixed workload run."""
-    n_records = n_records if n_records is not None else BENCH_RECORDS
-    key = ("mix", mix_id, policy, n_cores, prefetch, n_records, seed)
-    if key in _result_cache:
-        return _result_cache[key]
-    traces = mixed_workload_traces(n_cores, mix_id, 2 * n_records, seed=seed)
-    cfg = SystemConfig.default(n_cores)
-    return _run(key, [t.records for t in traces], cfg, policy, prefetch,
-                seed, False)
+    return run(ExperimentSpec.mix(mix_id, policy, n_cores=n_cores,
+                                  prefetch=prefetch, n_records=n_records,
+                                  seed=seed))
 
 
 def speedup_sweep(workloads: Sequence[str], policies: Sequence[str],
                   n_cores: int = 4, prefetch: bool = True,
-                  suite: str = "spec",
-                  n_records: Optional[int] = None) -> Dict[str, Dict[str, float]]:
-    """Normalized-IPC table for a figure: rows = workloads (+GEOMEAN)."""
+                  suite: str = "spec", n_records: Optional[int] = None,
+                  workers: Optional[int] = None,
+                  progress=None) -> Dict[str, Dict[str, float]]:
+    """Normalized-IPC table for a figure: rows = workloads (+GEOMEAN).
+
+    All (workload, policy) points — including the shared LRU baselines —
+    are resolved in one :func:`~repro.harness.runner.run_many` call, so
+    sweeps parallelize across ``workers`` and reuse the result store.
+    """
+    def point(name: str, policy: str) -> ExperimentSpec:
+        return ExperimentSpec.multicopy(name, policy, n_cores=n_cores,
+                                        prefetch=prefetch, suite=suite,
+                                        n_records=n_records)
+
+    specs = [point(name, policy)
+             for name in workloads
+             for policy in dict.fromkeys(["lru", *policies])]
+    by_spec = dict(zip(specs, run_many(specs, workers=workers,
+                                       progress=progress)))
+
     table: Dict[str, Dict[str, float]] = {}
     per_policy: Dict[str, List[float]] = {p: [] for p in policies}
     for name in workloads:
-        base = run_multicopy(name, "lru", n_cores, prefetch, suite, n_records)
+        base = by_spec[point(name, "lru")]
         row = {}
         for policy in policies:
-            res = (base if policy == "lru" else run_multicopy(
-                name, policy, n_cores, prefetch, suite, n_records))
-            value = normalized_ipc(res, base)
+            value = normalized_ipc(by_spec[point(name, policy)], base)
             row[policy] = value
             per_policy[policy].append(value)
         table[name] = row
@@ -163,12 +162,13 @@ def speedup_sweep(workloads: Sequence[str], policies: Sequence[str],
 def scaling_sweep(workloads: Sequence[str], policies: Sequence[str],
                   core_counts: Sequence[int] = (4, 8, 16),
                   prefetch: bool = True, suite: str = "spec",
-                  n_records: Optional[int] = None) -> Dict[int, Dict[str, float]]:
+                  n_records: Optional[int] = None,
+                  workers: Optional[int] = None) -> Dict[int, Dict[str, float]]:
     """Figs. 11-14: GM speedup per policy at each core count."""
     out: Dict[int, Dict[str, float]] = {}
     for cores in core_counts:
         table = speedup_sweep(workloads, policies, n_cores=cores,
                               prefetch=prefetch, suite=suite,
-                              n_records=n_records)
+                              n_records=n_records, workers=workers)
         out[cores] = table["GEOMEAN"]
     return out

@@ -1,0 +1,302 @@
+"""Sweep execution engine: cached ``run`` and parallel ``run_many``.
+
+Resolution order for one point is memo -> store -> simulate:
+
+* **memo** — an in-process ``{ExperimentSpec: SimResult}`` dict, so
+  repeated calls inside one session return the identical object (several
+  benchmarks share LRU baselines this way).
+* **store** — the persistent :class:`~repro.harness.store.ResultStore`,
+  so a fresh process reuses every point any earlier session simulated.
+* **simulate** — :meth:`ExperimentSpec.execute`, optionally fanned out
+  over a ``concurrent.futures`` process pool.
+
+Workers for :func:`run_many` come from the ``workers=`` argument, else
+the ``REPRO_WORKERS`` environment variable, else 1 (serial).  ``0`` means
+"one per CPU".  If a pool cannot be created or dies (sandboxed
+environments, missing semaphores, ...), the engine logs a warning and
+falls back to serial execution — results are identical either way,
+because workers return ``SimResult.to_dict()`` payloads whose round-trip
+is exact.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..sim.stats import SimResult
+from .spec import ExperimentSpec
+from .store import ResultStore, default_store
+
+log = logging.getLogger(__name__)
+
+#: sentinel: "use the process-wide default store"
+USE_DEFAULT_STORE = object()
+
+#: in-process memo (aliased by ``experiment._result_cache`` for
+#: backwards compatibility with existing tests/tools)
+_MEMO: Dict[ExperimentSpec, SimResult] = {}
+
+ProgressFn = Callable[["SweepStats", Optional[ExperimentSpec], str], None]
+
+
+@dataclass
+class SweepStats:
+    """Observability counters for one ``run_many`` call."""
+
+    total: int = 0
+    done: int = 0
+    memo_hits: int = 0
+    store_hits: int = 0
+    simulated: int = 0
+    workers: int = 1
+    pool_used: bool = False
+    fell_back_serial: bool = False
+    elapsed: float = 0.0      # wall-clock of the whole call
+    busy_time: float = 0.0    # summed per-point simulation time
+
+    @property
+    def cache_hits(self) -> int:
+        return self.memo_hits + self.store_hits
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of worker wall-clock spent simulating."""
+        if self.elapsed <= 0 or self.workers <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (self.elapsed * self.workers))
+
+    def summary(self) -> str:
+        mode = "pool" if self.pool_used else "serial"
+        if self.fell_back_serial:
+            mode = "serial (pool unavailable)"
+        return (f"{self.done}/{self.total} points in {self.elapsed:.2f}s | "
+                f"{self.memo_hits} memo + {self.store_hits} store hits, "
+                f"{self.simulated} simulated | workers={self.workers} "
+                f"({mode}), utilization {self.utilization:.0%}")
+
+
+@dataclass
+class _SessionStats:
+    """Process-lifetime aggregate across every run()/run_many() call."""
+
+    points: int = 0
+    memo_hits: int = 0
+    store_hits: int = 0
+    simulated: int = 0
+    sweeps: List[SweepStats] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (f"{self.points} experiment points: {self.memo_hits} memo "
+                f"hits, {self.store_hits} store hits, "
+                f"{self.simulated} simulated")
+
+
+session_stats = _SessionStats()
+
+
+def clear_memo() -> None:
+    _MEMO.clear()
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """``workers`` arg > ``REPRO_WORKERS`` env > 1; ``0`` = one per CPU."""
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                log.warning("ignoring non-integer REPRO_WORKERS=%r", raw)
+                workers = 1
+        else:
+            workers = 1
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+def _resolve_store(store) -> Optional[ResultStore]:
+    if store is USE_DEFAULT_STORE:
+        return default_store()
+    return store
+
+
+def _progress_printer(stats: SweepStats, spec: Optional[ExperimentSpec],
+                      event: str) -> None:
+    if spec is not None:
+        print(f"[sweep] {stats.done}/{stats.total} {event:<9s} "
+              f"{spec.label()}", file=sys.stderr)
+    else:
+        print(f"[sweep] {stats.summary()}", file=sys.stderr)
+
+
+def _as_progress(progress: Union[None, bool, ProgressFn]) -> Optional[ProgressFn]:
+    if progress is True:
+        return _progress_printer
+    if progress in (None, False):
+        return None
+    return progress
+
+
+# ----------------------------------------------------------------------
+# Single-point execution
+# ----------------------------------------------------------------------
+def run(spec: ExperimentSpec, store=USE_DEFAULT_STORE,
+        force: bool = False) -> SimResult:
+    """Result for one point: memo -> store -> simulate (and persist)."""
+    if not force and spec in _MEMO:
+        session_stats.points += 1
+        session_stats.memo_hits += 1
+        return _MEMO[spec]
+    resolved = _resolve_store(store)
+    session_stats.points += 1
+    if not force and resolved is not None:
+        cached = resolved.get(spec)
+        if cached is not None:
+            _MEMO[spec] = cached
+            session_stats.store_hits += 1
+            return cached
+    result = spec.execute()
+    session_stats.simulated += 1
+    _MEMO[spec] = result
+    if resolved is not None:
+        try:
+            resolved.put(spec, result)
+        except OSError as exc:  # a full/readonly disk shouldn't kill a sweep
+            log.warning("result store write failed: %s", exc)
+    return result
+
+
+def _worker_execute(spec_data: Dict) -> Dict:
+    """Pool entry point: simulate one spec, return a picklable payload."""
+    start = time.monotonic()
+    result = ExperimentSpec.from_dict(spec_data).execute()
+    return {"result": result.to_dict(),
+            "duration": time.monotonic() - start}
+
+
+# ----------------------------------------------------------------------
+# Sweep execution
+# ----------------------------------------------------------------------
+def run_many(specs: Sequence[ExperimentSpec], workers: Optional[int] = None,
+             store=USE_DEFAULT_STORE,
+             progress: Union[None, bool, ProgressFn] = None,
+             force: bool = False,
+             stats_out: Optional[SweepStats] = None) -> List[SimResult]:
+    """Results for ``specs`` (order preserved, duplicates deduplicated).
+
+    Cache hits are served first; the remaining points are simulated on a
+    process pool of ``workers`` (serial when 1, or when the pool cannot
+    start).  Pass ``progress=True`` for per-point stderr lines, or a
+    callable ``(stats, spec, event)`` for custom reporting.  Pass a
+    ``SweepStats`` as ``stats_out`` to receive the counters.
+    """
+    specs = list(specs)
+    report = _as_progress(progress)
+    stats = stats_out if stats_out is not None else SweepStats()
+    stats.total = len(specs)
+    stats.workers = resolve_workers(workers)
+    resolved = _resolve_store(store)
+    started = time.monotonic()
+
+    results: Dict[ExperimentSpec, SimResult] = {}
+    pending: List[ExperimentSpec] = []
+    for spec in dict.fromkeys(specs):           # unique, order kept
+        session_stats.points += 1
+        if not force and spec in _MEMO:
+            results[spec] = _MEMO[spec]
+            stats.memo_hits += 1
+            stats.done += 1
+            session_stats.memo_hits += 1
+            if report:
+                report(stats, spec, "memo-hit")
+            continue
+        if not force and resolved is not None:
+            cached = resolved.get(spec)
+            if cached is not None:
+                _MEMO[spec] = cached
+                results[spec] = cached
+                stats.store_hits += 1
+                stats.done += 1
+                session_stats.store_hits += 1
+                if report:
+                    report(stats, spec, "store-hit")
+                continue
+        pending.append(spec)
+    stats.total = stats.done + len(pending)
+
+    def finish(spec: ExperimentSpec, result: SimResult,
+               duration: float) -> None:
+        _MEMO[spec] = result
+        results[spec] = result
+        if resolved is not None:
+            try:
+                resolved.put(spec, result)
+            except OSError as exc:
+                log.warning("result store write failed: %s", exc)
+        stats.simulated += 1
+        stats.done += 1
+        stats.busy_time += duration
+        session_stats.simulated += 1
+        if report:
+            report(stats, spec, "simulated")
+
+    def run_serial(todo: Sequence[ExperimentSpec]) -> None:
+        for spec in todo:
+            start = time.monotonic()
+            finish(spec, spec.execute(), time.monotonic() - start)
+
+    if pending:
+        n_workers = min(stats.workers, len(pending))
+        if n_workers > 1:
+            try:
+                _run_pool(pending, n_workers, finish)
+                stats.pool_used = True
+            except _PoolUnavailable as exc:
+                log.warning("worker pool unavailable (%s); "
+                            "falling back to serial execution", exc.reason)
+                stats.fell_back_serial = True
+                run_serial([s for s in pending if s not in results])
+        else:
+            run_serial(pending)
+
+    stats.elapsed = time.monotonic() - started
+    session_stats.sweeps.append(stats)
+    if report:
+        report(stats, None, "done")
+    return [results[spec] for spec in specs]
+
+
+class _PoolUnavailable(Exception):
+    """Internal: the process pool could not start or died mid-sweep."""
+
+    def __init__(self, reason: BaseException) -> None:
+        super().__init__(str(reason))
+        self.reason = reason
+
+
+def _run_pool(pending: Sequence[ExperimentSpec], n_workers: int,
+              finish: Callable[[ExperimentSpec, SimResult, float], None]) -> None:
+    try:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError as exc:  # stripped-down stdlib
+        raise _PoolUnavailable(exc) from exc
+    try:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {pool.submit(_worker_execute, spec.to_dict()): spec
+                       for spec in pending}
+            for future in as_completed(futures):
+                payload = future.result()
+                finish(futures[future],
+                       SimResult.from_dict(payload["result"]),
+                       payload["duration"])
+    except (BrokenProcessPool, OSError, PermissionError) as exc:
+        # No /dev/shm, fork refused, workers killed, ... — the caller
+        # reruns whatever did not complete, serially.
+        raise _PoolUnavailable(exc) from exc

@@ -1,0 +1,81 @@
+"""Benchmark scale configuration.
+
+Historically :mod:`repro.harness.experiment` read the ``REPRO_BENCH_*``
+environment variables once at import time, which made it impossible for
+tests or the CLI to change scale programmatically.  :class:`BenchScale`
+replaces those module constants: the environment still provides the
+defaults, but the active scale is a process-wide object that can be
+swapped with :func:`set_scale` or temporarily with :func:`scale_override`.
+
+Knobs (environment variable, default):
+
+* ``records``   — measured records per core (``REPRO_BENCH_RECORDS``, 6000)
+* ``workloads`` — SPEC workloads per figure sweep (``REPRO_BENCH_WORKLOADS``,
+  10; 30 reproduces the full Table VIII set)
+* ``mixes``     — Fig. 10 mixed workloads (``REPRO_BENCH_MIXES``, 10; the
+  paper runs 100)
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator, Mapping, Optional
+
+DEFAULT_RECORDS = 6000
+DEFAULT_WORKLOADS = 10
+DEFAULT_MIXES = 10
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """How big figure sweeps run (trace length / workload counts)."""
+
+    records: int = DEFAULT_RECORDS
+    workloads: int = DEFAULT_WORKLOADS
+    mixes: int = DEFAULT_MIXES
+
+    def __post_init__(self) -> None:
+        if self.records < 1 or self.workloads < 1 or self.mixes < 1:
+            raise ValueError("BenchScale values must be >= 1")
+
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "BenchScale":
+        """Scale described by the ``REPRO_BENCH_*`` environment variables."""
+        env = os.environ if env is None else env
+        return cls(
+            records=int(env.get("REPRO_BENCH_RECORDS", DEFAULT_RECORDS)),
+            workloads=int(env.get("REPRO_BENCH_WORKLOADS", DEFAULT_WORKLOADS)),
+            mixes=int(env.get("REPRO_BENCH_MIXES", DEFAULT_MIXES)),
+        )
+
+
+_active: Optional[BenchScale] = None
+
+
+def get_scale() -> BenchScale:
+    """The active scale (first use reads the environment)."""
+    global _active
+    if _active is None:
+        _active = BenchScale.from_env()
+    return _active
+
+
+def set_scale(scale: Optional[BenchScale]) -> None:
+    """Install ``scale`` process-wide; ``None`` re-reads the environment
+    on next :func:`get_scale`."""
+    global _active
+    _active = scale
+
+
+@contextmanager
+def scale_override(**changes: int) -> Iterator[BenchScale]:
+    """Temporarily adjust scale fields, e.g. ``scale_override(records=500)``."""
+    previous = _active
+    scale = replace(get_scale(), **changes)
+    set_scale(scale)
+    try:
+        yield scale
+    finally:
+        set_scale(previous)

@@ -1,0 +1,160 @@
+"""The unit of work for the sweep engine: one simulation point.
+
+Every paper figure is a sweep over (workload, policy, core count,
+prefetch); :class:`ExperimentSpec` captures one such point as a frozen,
+hashable, picklable value.  The runner executes specs (possibly in a
+worker pool), the store content-addresses them, and the legacy
+``run_multicopy`` / ``run_mix`` helpers are thin wrappers that build a
+spec and hand it to :func:`repro.harness.runner.run`.
+
+A spec fully determines its result: traces are generated from
+``(workload, suite, seed, n_records)``, the machine from
+``(preset, n_cores)``, and the simulator is deterministic, so equal specs
+produce byte-identical ``SimResult`` JSON in any process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.config import SystemConfig
+from ..sim.stats import SimResult
+
+#: SystemConfig presets a spec may name (kept as names so specs stay
+#: flat/hashable; add an entry here to expose a new machine).
+CONFIG_PRESETS = {
+    "default": SystemConfig.default,
+    "paper": SystemConfig.paper,
+    "tiny": SystemConfig.tiny,
+}
+
+#: Bump when spec semantics change in a way that invalidates stored keys.
+SPEC_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One simulation point (frozen — safe as dict key and across pickle)."""
+
+    workload: str                 # SPEC/GAP name; "" for mixed workloads
+    policy: str
+    n_cores: int = 4
+    prefetch: bool = True
+    suite: str = "spec"           # "spec" | "gap" | "mix"
+    n_records: int = 6000         # measured records per core
+    seed: int = 3
+    collect_deltas: bool = False
+    mix_id: Optional[int] = None  # set iff suite == "mix"
+    preset: str = "default"       # CONFIG_PRESETS key
+
+    def __post_init__(self) -> None:
+        if self.suite == "mix":
+            if self.mix_id is None:
+                raise ValueError("mix specs need mix_id")
+        elif self.suite in ("spec", "gap"):
+            if not self.workload:
+                raise ValueError(f"{self.suite} specs need a workload name")
+            if self.mix_id is not None:
+                raise ValueError("mix_id only applies to suite='mix'")
+        else:
+            raise ValueError(f"unknown suite {self.suite!r}")
+        if self.preset not in CONFIG_PRESETS:
+            raise ValueError(
+                f"unknown preset {self.preset!r}; "
+                f"available: {sorted(CONFIG_PRESETS)}")
+        if self.n_cores < 1 or self.n_records < 1:
+            raise ValueError("n_cores and n_records must be >= 1")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def multicopy(cls, workload: str, policy: str, n_cores: int = 4,
+                  prefetch: bool = True, suite: str = "spec",
+                  n_records: Optional[int] = None, seed: int = 3,
+                  collect_deltas: bool = False,
+                  preset: str = "default") -> "ExperimentSpec":
+        """Multi-copy workload point (Figs. 3, 7-9, 11-14, Tables X-XI)."""
+        from .scale import get_scale
+        return cls(workload=workload, policy=policy, n_cores=n_cores,
+                   prefetch=prefetch, suite=suite,
+                   n_records=(get_scale().records if n_records is None
+                              else n_records),
+                   seed=seed, collect_deltas=collect_deltas, preset=preset)
+
+    @classmethod
+    def single(cls, workload: str, policy: str = "lru",
+               prefetch: bool = False, suite: str = "spec",
+               n_records: Optional[int] = None, seed: int = 3,
+               collect_deltas: bool = False) -> "ExperimentSpec":
+        """Single-core point (Fig. 5, Tables III and VIII)."""
+        return cls.multicopy(workload, policy, n_cores=1, prefetch=prefetch,
+                             suite=suite, n_records=n_records, seed=seed,
+                             collect_deltas=collect_deltas)
+
+    @classmethod
+    def mix(cls, mix_id: int, policy: str, n_cores: int = 4,
+            prefetch: bool = True, n_records: Optional[int] = None,
+            seed: int = 3) -> "ExperimentSpec":
+        """Fig. 10 mixed-workload point."""
+        from .scale import get_scale
+        return cls(workload="", policy=policy, n_cores=n_cores,
+                   prefetch=prefetch, suite="mix",
+                   n_records=(get_scale().records if n_records is None
+                              else n_records),
+                   seed=seed, mix_id=mix_id)
+
+    # -- identity -------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentSpec":
+        names = {f.name for f in fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown ExperimentSpec fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def canonical_json(self) -> str:
+        """Stable textual identity (sorted keys, compact separators)."""
+        payload = {"spec_schema": SPEC_SCHEMA_VERSION, **self.to_dict()}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def key(self) -> str:
+        """Content hash of the spec — the store's addressing unit."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable tag for progress lines."""
+        name = f"mix{self.mix_id}" if self.suite == "mix" else self.workload
+        pf = "pf" if self.prefetch else "nopf"
+        return f"{name}/{self.policy}/{self.n_cores}c/{pf}"
+
+    # -- execution ------------------------------------------------------
+    def build_config(self) -> SystemConfig:
+        return CONFIG_PRESETS[self.preset](self.n_cores)
+
+    def build_traces(self) -> List[Sequence]:
+        """Per-core record sequences (2x n_records: warmup + measured)."""
+        from ..workloads.mixes import mixed_workload_traces, multicopy_traces
+        if self.suite == "mix":
+            traces = mixed_workload_traces(self.n_cores, self.mix_id,
+                                           2 * self.n_records, seed=self.seed)
+        else:
+            traces = multicopy_traces(self.workload, self.n_cores,
+                                      2 * self.n_records, seed=self.seed,
+                                      suite=self.suite)
+        return [t.records for t in traces]
+
+    def execute(self) -> SimResult:
+        """Run the simulation for this point (no caching — see the runner)."""
+        from ..sim.system import System
+        traces = self.build_traces()
+        n = min(len(t) for t in traces)
+        system = System(self.build_config(), traces, llc_policy=self.policy,
+                        prefetch=self.prefetch, seed=self.seed,
+                        measure_records=n // 2, warmup_records=n // 2,
+                        collect_deltas=self.collect_deltas)
+        return system.run()

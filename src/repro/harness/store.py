@@ -1,0 +1,192 @@
+"""Persistent, content-addressed store of simulation results.
+
+Each :class:`~repro.harness.spec.ExperimentSpec` is addressed by
+``sha256(spec canonical JSON)`` *within a directory named by the code
+fingerprint* — a hash over every ``repro`` source file.  Any edit to the
+simulator (or policies, workload generators, ...) therefore lands in a
+fresh namespace and can never serve stale results; old namespaces are
+just directories that ``prune()`` can drop.
+
+Layout::
+
+    <root>/<fingerprint[:16]>/<spec-key[:2]>/<spec-key>.json
+
+Each entry file holds ``{"spec": ..., "result": ..., "fingerprint": ...}``
+and is written atomically (tempfile + rename), so concurrent workers and
+concurrent processes may share one store without locking: the worst case
+is both simulating the same point and one rename winning, which is
+harmless because results are deterministic.
+
+The default root is ``~/.cache/repro-care/results``; override with the
+``REPRO_RESULT_STORE`` environment variable (set it to ``0``, ``off`` or
+the empty string to disable persistence entirely).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from ..sim.stats import SimResult
+from .spec import ExperimentSpec
+
+ENV_VAR = "REPRO_RESULT_STORE"
+_DISABLED_VALUES = {"", "0", "off", "none", "disabled"}
+
+_fingerprint_cache: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` package source file (path + contents).
+
+    Computed once per process; ~60 small files, so the cost is a few
+    milliseconds on first use.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        pkg_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(pkg_root.rglob("*.py")):
+            digest.update(str(path.relative_to(pkg_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _fingerprint_cache = digest.hexdigest()
+    return _fingerprint_cache
+
+
+class ResultStore:
+    """On-disk result cache shared by benchmarks, examples, and the CLI."""
+
+    def __init__(self, root: Union[str, Path],
+                 fingerprint: Optional[str] = None) -> None:
+        self.root = Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def namespace(self) -> Path:
+        return self.root / self.fingerprint[:16]
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        key = spec.key()
+        return self.namespace / key[:2] / f"{key}.json"
+
+    # -- access ---------------------------------------------------------
+    def __contains__(self, spec: ExperimentSpec) -> bool:
+        return self.path_for(spec).is_file()
+
+    def get(self, spec: ExperimentSpec) -> Optional[SimResult]:
+        """The stored result for ``spec``, or ``None`` on a miss."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+            result = SimResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (KeyError, ValueError, json.JSONDecodeError):
+            # Unreadable/foreign entry: treat as a miss and let a fresh
+            # run overwrite it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: ExperimentSpec, result: SimResult) -> Path:
+        """Persist ``result`` under ``spec``'s key (atomic rename)."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"fingerprint": self.fingerprint, "spec": spec.to_dict(),
+             "result": result.to_dict()},
+            sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    # -- maintenance ----------------------------------------------------
+    def entries(self) -> Iterator[Path]:
+        yield from self.namespace.glob("*/*.json")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def prune_stale(self) -> int:
+        """Drop namespaces belonging to older code fingerprints."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for child in self.root.iterdir():
+            if child.is_dir() and child != self.namespace:
+                shutil.rmtree(child, ignore_errors=True)
+                removed += 1
+        return removed
+
+    def clear(self) -> None:
+        shutil.rmtree(self.namespace, ignore_errors=True)
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResultStore({str(self.namespace)!r}, hits={self.hits}, "
+                f"misses={self.misses}, writes={self.writes})")
+
+
+_default_store: Optional[ResultStore] = None
+_default_resolved = False
+
+
+def default_store() -> Optional[ResultStore]:
+    """Process-wide store from ``REPRO_RESULT_STORE`` (``None`` if disabled
+    or the directory cannot be created)."""
+    global _default_store, _default_resolved
+    if not _default_resolved:
+        _default_resolved = True
+        raw = os.environ.get(ENV_VAR)
+        if raw is not None and raw.strip().lower() in _DISABLED_VALUES:
+            _default_store = None
+        else:
+            root = Path(raw) if raw else (
+                Path.home() / ".cache" / "repro-care" / "results")
+            store = ResultStore(root)
+            try:
+                store.namespace.mkdir(parents=True, exist_ok=True)
+                _default_store = store
+            except OSError:
+                _default_store = None
+    return _default_store
+
+
+def set_default_store(store: Optional[ResultStore]) -> None:
+    """Install ``store`` process-wide (tests use this with a tmp dir)."""
+    global _default_store, _default_resolved
+    _default_store = store
+    _default_resolved = True
+
+
+def reset_default_store() -> None:
+    """Forget the cached default; next use re-reads the environment."""
+    global _default_store, _default_resolved
+    _default_store = None
+    _default_resolved = False

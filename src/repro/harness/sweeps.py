@@ -1,0 +1,153 @@
+"""Named figure sweeps for ``python -m repro sweep``.
+
+Each entry reproduces one paper figure's sweep through the parallel
+runner and renders an aligned table via
+:func:`repro.analysis.reporting.format_table`.  Scale comes from the
+active :class:`~repro.harness.scale.BenchScale`, so the CLI can shrink a
+sweep with ``--workloads`` / ``--records`` / ``--mixes`` without
+environment gymnastics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..analysis.metrics import geometric_mean, normalized_weighted_ipc
+from ..analysis.reporting import format_table
+from .experiment import (
+    NOPREFETCH_SCHEMES,
+    PREFETCH_SCHEMES,
+    bench_gap_workloads,
+    bench_spec_workloads,
+    run_mix,
+    run_single,
+    scaling_sweep,
+    speedup_sweep,
+)
+from .runner import run_many
+from .scale import get_scale
+from .spec import ExperimentSpec
+
+#: a sweep function: (workers, progress) -> rendered table text
+SweepFn = Callable[[Optional[int], object], str]
+
+
+@dataclass(frozen=True)
+class SweepDef:
+    name: str
+    title: str
+    fn: SweepFn
+
+
+def _speedup(title: str, suite: str, schemes: List[str], prefetch: bool,
+             workloads_fn) -> SweepFn:
+    def collect(workers: Optional[int], progress) -> str:
+        table = speedup_sweep(workloads_fn(), schemes, n_cores=4,
+                              prefetch=prefetch, suite=suite,
+                              workers=workers, progress=progress)
+        rows = [[w] + [f"{table[w][p]:.3f}" for p in schemes]
+                for w in table]
+        return "\n".join([title, format_table(["workload"] + schemes, rows)])
+    return collect
+
+
+def _scaling(title: str, suite: str, schemes: List[str],
+             prefetch: bool, workloads_fn) -> SweepFn:
+    def collect(workers: Optional[int], progress) -> str:
+        out = scaling_sweep(workloads_fn(), schemes, core_counts=(4, 8, 16),
+                            prefetch=prefetch, suite=suite, workers=workers)
+        rows = [[f"{cores} cores"] + [f"{out[cores][p]:.3f}"
+                                      for p in schemes]
+                for cores in sorted(out)]
+        return "\n".join([title, format_table(["config"] + schemes, rows)])
+    return collect
+
+
+def _mixed(workers: Optional[int], progress) -> str:
+    from ..workloads.mixes import mixed_workload_names
+    schemes = PREFETCH_SCHEMES
+    n_mixes = get_scale().mixes
+    # Fan the whole (mix x policy) grid plus the IPC_alone baselines out in
+    # one run_many call, then assemble the per-mix rows.
+    alone_specs = {
+        name: ExperimentSpec.single(name, "lru", prefetch=True)
+        for mix_id in range(n_mixes)
+        for name in mixed_workload_names(4, mix_id)
+    }
+    mix_specs = {(mix_id, policy): ExperimentSpec.mix(mix_id, policy)
+                 for mix_id in range(n_mixes) for policy in schemes}
+    ordered = list(alone_specs.values()) + list(mix_specs.values())
+    run_many(ordered, workers=workers, progress=progress)
+    rows = []
+    gm_values: Dict[str, List[float]] = {p: [] for p in schemes}
+    for mix_id in range(n_mixes):
+        names = mixed_workload_names(4, mix_id)
+        alone = [run_single(n, "lru", prefetch=True).ipc[0] for n in names]
+        base = run_mix(mix_id, "lru")
+        row = []
+        for policy in schemes:
+            res = base if policy == "lru" else run_mix(mix_id, policy)
+            value = normalized_weighted_ipc(res, base, alone)
+            row.append(f"{value:.3f}")
+            gm_values[policy].append(value)
+        rows.append([f"mix{mix_id:03d}"] + row)
+    rows.append(["GEOMEAN"] + [f"{geometric_mean(gm_values[p]):.3f}"
+                               for p in schemes])
+    return "\n".join([
+        f"Fig. 10 - normalized weighted IPC, {n_mixes} mixed 4-core "
+        "workloads, with prefetching",
+        format_table(["mix"] + schemes, rows),
+    ])
+
+
+def _scaling_workloads() -> List[str]:
+    return bench_spec_workloads(max(3, get_scale().workloads // 3))
+
+
+SWEEPS: Dict[str, SweepDef] = {
+    sweep.name: sweep for sweep in [
+        SweepDef("fig07", "Fig. 7 - normalized IPC, 4-core SPEC, prefetch",
+                 _speedup("Fig. 7 - normalized IPC, 4-core multi-copy SPEC, "
+                          "with prefetching", "spec", PREFETCH_SCHEMES, True,
+                          bench_spec_workloads)),
+        SweepDef("fig09", "Fig. 9 - normalized IPC, 4-core GAP, prefetch",
+                 _speedup("Fig. 9 - normalized IPC, 4-core multi-copy GAP, "
+                          "with prefetching", "gap", PREFETCH_SCHEMES, True,
+                          bench_gap_workloads)),
+        SweepDef("fig10", "Fig. 10 - mixed 4-core workloads", _mixed),
+        SweepDef("fig11", "Fig. 11 - SPEC scaling 4/8/16 cores, prefetch",
+                 _scaling("Fig. 11 - GM speedup over LRU vs core count, "
+                          "SPEC, with prefetching", "spec",
+                          PREFETCH_SCHEMES, True, _scaling_workloads)),
+        SweepDef("fig12", "Fig. 12 - GAP scaling 4/8/16 cores, prefetch",
+                 _scaling("Fig. 12 - GM speedup over LRU vs core count, "
+                          "GAP, with prefetching", "gap",
+                          PREFETCH_SCHEMES, True,
+                          lambda: bench_gap_workloads(3))),
+        SweepDef("fig13", "Fig. 13 - SPEC scaling, no prefetch",
+                 _scaling("Fig. 13 - GM speedup over LRU vs core count, "
+                          "SPEC, no prefetching", "spec",
+                          NOPREFETCH_SCHEMES, False, _scaling_workloads)),
+        SweepDef("fig14", "Fig. 14 - GAP scaling, no prefetch",
+                 _scaling("Fig. 14 - GM speedup over LRU vs core count, "
+                          "GAP, no prefetching", "gap",
+                          NOPREFETCH_SCHEMES, False,
+                          lambda: bench_gap_workloads(3))),
+    ]
+}
+
+
+def available_sweeps() -> List[Tuple[str, str]]:
+    return [(d.name, d.title) for d in SWEEPS.values()]
+
+
+def run_sweep(name: str, workers: Optional[int] = None,
+              progress=None) -> str:
+    """Execute the named sweep; returns the rendered table text."""
+    try:
+        sweep = SWEEPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep {name!r}; available: {sorted(SWEEPS)}") from None
+    return sweep.fn(workers, progress)

@@ -9,11 +9,21 @@ the policy constructor so experiment code can override scheme parameters.
 from __future__ import annotations
 
 import inspect
-from typing import Callable, Dict, List
+import logging
+from typing import Callable, Dict, FrozenSet, List, Set, Tuple
 
 from .base import ReplacementPolicy
 
+log = logging.getLogger(__name__)
+
 _REGISTRY: Dict[str, Callable[..., ReplacementPolicy]] = {}
+
+#: uniform-context keys the System passes to *every* policy; schemes that
+#: don't take them may drop them silently (that is the whole point of the
+#: uniform context, not a caller mistake worth warning about).
+CONTEXT_KWARGS: FrozenSet[str] = frozenset({"n_cores"})
+
+_warned_drops: Set[Tuple[str, FrozenSet[str]]] = set()
 
 
 def register(name: str):
@@ -40,7 +50,10 @@ def make_policy(name: str, sets: int, ways: int, seed: int = 0,
 
     Keyword arguments not accepted by the policy's constructor (e.g.
     ``n_cores`` for single-core-agnostic policies) are dropped, so the
-    System can pass a uniform context to every scheme.
+    System can pass a uniform context to every scheme.  Dropping anything
+    *outside* that uniform context (``CONTEXT_KWARGS``) is almost always a
+    misspelled scheme-parameter override, so it is logged once per
+    (policy, argument-set) combination instead of vanishing silently.
     """
     _ensure_loaded()
     try:
@@ -53,6 +66,12 @@ def make_policy(name: str, sets: int, ways: int, seed: int = 0,
     accepts_var = any(p.kind == inspect.Parameter.VAR_KEYWORD
                       for p in params.values())
     if not accepts_var:
+        dropped = frozenset(kwargs) - set(params) - CONTEXT_KWARGS
+        if dropped and (name, dropped) not in _warned_drops:
+            _warned_drops.add((name, dropped))
+            log.warning(
+                "policy %r does not accept constructor kwargs %s; "
+                "they are ignored", name, sorted(dropped))
         kwargs = {k: v for k, v in kwargs.items() if k in params}
     return factory(sets, ways, seed=seed, **kwargs)
 

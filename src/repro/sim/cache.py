@@ -92,6 +92,52 @@ class CacheStats:
         n = self.demand_accesses
         return self.demand_misses / n if n else 0.0
 
+    # ------------------------------------------------------------------
+    # Serialization (persistent result store / ``SimResult.to_dict``)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-safe dict; enum-keyed counters become name-keyed."""
+        return {
+            "accesses": {t.name: self.accesses.get(t, 0) for t in AccessType},
+            "hits": {t.name: self.hits.get(t, 0) for t in AccessType},
+            "misses": {t.name: self.misses.get(t, 0) for t in AccessType},
+            "mshr_merges": self.mshr_merges,
+            "mshr_stalls": self.mshr_stalls,
+            "invalidations": self.invalidations,
+            "late_hits": self.late_hits,
+            "evictions": self.evictions,
+            "writebacks_out": self.writebacks_out,
+            "prefetch_fills": self.prefetch_fills,
+            "prefetch_useful": self.prefetch_useful,
+            "prefetch_promoted": self.prefetch_promoted,
+            "demand_misses_by_core": {
+                str(core): n
+                for core, n in sorted(self.demand_misses_by_core.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CacheStats":
+        """Exact inverse of :meth:`to_dict`."""
+        return cls(
+            accesses={t: data["accesses"][t.name] for t in AccessType},
+            hits={t: data["hits"][t.name] for t in AccessType},
+            misses={t: data["misses"][t.name] for t in AccessType},
+            mshr_merges=data["mshr_merges"],
+            mshr_stalls=data["mshr_stalls"],
+            invalidations=data["invalidations"],
+            late_hits=data["late_hits"],
+            evictions=data["evictions"],
+            writebacks_out=data["writebacks_out"],
+            prefetch_fills=data["prefetch_fills"],
+            prefetch_useful=data["prefetch_useful"],
+            prefetch_promoted=data["prefetch_promoted"],
+            demand_misses_by_core={
+                int(core): n
+                for core, n in data["demand_misses_by_core"].items()
+            },
+        )
+
 
 class Cache:
     """One cache level wired to a lower level (another cache or DRAM)."""

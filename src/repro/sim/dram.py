@@ -37,6 +37,19 @@ class DRAMStats:
     def mean_read_latency(self) -> float:
         return self.total_read_latency / self.reads if self.reads else 0.0
 
+    def to_dict(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "total_read_latency": self.total_read_latency,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DRAMStats":
+        return cls(**data)
+
 
 class _Bank:
     __slots__ = ("next_free", "open_row")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -74,6 +75,73 @@ class SimResult:
     def hit_miss_overlap_fraction(self) -> float:
         """Fraction of LLC misses with hit-miss overlapping (Fig. 3)."""
         return self.conc_total.hit_miss_overlap_fraction
+
+    # ------------------------------------------------------------------
+    # Serialization.  ``from_dict(to_dict(r)) == r`` holds exactly: every
+    # field is integers, floats, strings, and lists thereof, all of which
+    # JSON round-trips losslessly (floats via repr).  The persistent result
+    # store and the parallel sweep runner both rely on this guarantee.
+    # ------------------------------------------------------------------
+    SCHEMA_VERSION = 1
+
+    def to_dict(self) -> Dict:
+        """JSON-safe representation of the full result."""
+        return {
+            "schema": self.SCHEMA_VERSION,
+            "policy": self.policy,
+            "n_cores": self.n_cores,
+            "prefetch": self.prefetch,
+            "ipc": list(self.ipc),
+            "instructions": list(self.instructions),
+            "cycles": list(self.cycles),
+            "llc": self.llc.to_dict(),
+            "conc": [c.to_dict() for c in self.conc],
+            "conc_total": self.conc_total.to_dict(),
+            "pmc_deltas": [list(d) for d in self.pmc_deltas],
+            "dram": self.dram.to_dict(),
+            "sim_cycles": self.sim_cycles,
+            "events": self.events,
+            "l1_stats": [s.to_dict() for s in self.l1_stats],
+            "l2_stats": [s.to_dict() for s in self.l2_stats],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimResult":
+        """Exact inverse of :meth:`to_dict`."""
+        from ..core.pmc import CoreConcurrencyStats
+        from .cache import CacheStats
+        from .dram import DRAMStats
+        schema = data.get("schema", cls.SCHEMA_VERSION)
+        if schema != cls.SCHEMA_VERSION:
+            raise ValueError(
+                f"SimResult schema {schema} != {cls.SCHEMA_VERSION}")
+        return cls(
+            policy=data["policy"],
+            n_cores=data["n_cores"],
+            prefetch=data["prefetch"],
+            ipc=list(data["ipc"]),
+            instructions=list(data["instructions"]),
+            cycles=list(data["cycles"]),
+            llc=CacheStats.from_dict(data["llc"]),
+            conc=[CoreConcurrencyStats.from_dict(c) for c in data["conc"]],
+            conc_total=CoreConcurrencyStats.from_dict(data["conc_total"]),
+            pmc_deltas=[list(d) for d in data["pmc_deltas"]],
+            dram=DRAMStats.from_dict(data["dram"]),
+            sim_cycles=data["sim_cycles"],
+            events=data["events"],
+            l1_stats=[CacheStats.from_dict(s) for s in data["l1_stats"]],
+            l2_stats=[CacheStats.from_dict(s) for s in data["l2_stats"]],
+        )
+
+    def to_json(self) -> str:
+        """Canonical (sorted-key, compact) JSON — byte-stable for a given
+        result, so determinism checks can compare strings directly."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimResult":
+        return cls.from_dict(json.loads(text))
 
     def summary(self) -> Dict[str, float]:
         """Compact scalar summary (handy for printing / quick assertions)."""

@@ -47,6 +47,62 @@ def test_run_command_gap(capsys):
     assert "bfs-or" in out and "prefetch=on" in out
 
 
+def test_run_command_json(capsys):
+    import json
+    assert main(["run", "462.libquantum", "--policies", "lru",
+                 "--records", "600", "--json", "--no-store"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1
+    entry = payload[0]
+    assert entry["spec"]["workload"] == "462.libquantum"
+    assert entry["spec"]["policy"] == "lru"
+    from repro.sim.stats import SimResult
+    res = SimResult.from_dict(entry["result"])
+    assert res.policy == "lru" and res.n_cores == 1
+
+
+def test_sweep_list(capsys):
+    assert main(["sweep", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig07" in out and "fig13" in out
+    assert main(["sweep"]) == 0          # bare `sweep` also lists
+    assert "fig07" in capsys.readouterr().out
+
+
+def test_sweep_command_runs_and_reports(capsys, tmp_path):
+    from repro.harness.store import (ResultStore, reset_default_store,
+                                     set_default_store)
+    from repro.harness.runner import clear_memo
+    clear_memo()
+    set_default_store(ResultStore(tmp_path))
+    try:
+        assert main(["sweep", "fig07", "--workloads", "1", "--records",
+                     "200", "--workers", "1", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out and "429.mcf" in out
+        assert "simulated" in out        # sweep stats line
+        # fresh "process": memo dropped, second run is all store hits
+        clear_memo()
+        assert main(["sweep", "fig07", "--workloads", "1", "--records",
+                     "200", "--workers", "1", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "6 store hits, 0 simulated" in out
+    finally:
+        clear_memo()
+        reset_default_store()
+
+
+def test_sweep_unknown_name(capsys):
+    assert main(["sweep", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown sweep 'nope'" in err and "available" in err
+
+
+def test_run_rejects_zero_records(capsys):
+    assert main(["run", "429.mcf", "--records", "0"]) == 2
+    assert "must be >= 1" in capsys.readouterr().err
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

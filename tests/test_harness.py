@@ -62,6 +62,59 @@ def test_gap_suite_runs():
 
 
 # ----------------------------------------------------------------------
+# BenchScale (programmatic scaling, replacing import-time env reads)
+# ----------------------------------------------------------------------
+
+def test_bench_scale_env_defaults(monkeypatch):
+    from repro.harness.scale import BenchScale
+    monkeypatch.setenv("REPRO_BENCH_RECORDS", "1234")
+    monkeypatch.setenv("REPRO_BENCH_WORKLOADS", "5")
+    scale = BenchScale.from_env()
+    assert scale.records == 1234
+    assert scale.workloads == 5
+    assert scale.mixes == 10
+
+
+def test_bench_scale_programmatic_override():
+    from repro.harness import BenchScale, get_scale, set_scale
+    from repro.harness.spec import ExperimentSpec
+    original = get_scale()
+    try:
+        set_scale(BenchScale(records=777, workloads=2, mixes=3))
+        assert get_scale().records == 777
+        assert len(bench_spec_workloads()) == 2
+        # spec factories resolve their default trace length from the scale
+        assert ExperimentSpec.multicopy("429.mcf", "lru").n_records == 777
+    finally:
+        set_scale(original)
+
+
+def test_scale_override_context_manager():
+    from repro.harness import get_scale, scale_override
+    before = get_scale()
+    with scale_override(workloads=1) as scale:
+        assert scale.workloads == 1
+        assert get_scale() is scale
+        assert len(bench_spec_workloads()) == 1
+    assert get_scale() == before
+
+
+def test_legacy_scale_constants_resolve_lazily():
+    from repro import harness
+    from repro.harness import BenchScale, get_scale, set_scale
+    from repro.harness import experiment
+    original = get_scale()
+    try:
+        set_scale(BenchScale(records=4321))
+        assert experiment.BENCH_RECORDS == 4321
+        assert harness.BENCH_RECORDS == 4321
+    finally:
+        set_scale(original)
+    with pytest.raises(AttributeError):
+        experiment.BENCH_NOPE
+
+
+# ----------------------------------------------------------------------
 # cachesim input handling
 # ----------------------------------------------------------------------
 

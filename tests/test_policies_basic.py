@@ -42,6 +42,29 @@ def test_registry_drops_unknown_kwargs():
     assert isinstance(pol, LRUPolicy)
 
 
+def test_registry_warns_on_dropped_non_context_kwargs(caplog):
+    import logging
+
+    import repro.policies.registry as registry
+    registry._warned_drops.clear()
+    with caplog.at_level(logging.WARNING, logger="repro.policies.registry"):
+        make_policy("lru", sets=4, ways=2, shct_bits=14)   # typo'd override
+    assert any("shct_bits" in r.message and "lru" in r.message
+               for r in caplog.records)
+    # ... but only once per (policy, argument-set) combination
+    caplog.clear()
+    with caplog.at_level(logging.WARNING, logger="repro.policies.registry"):
+        make_policy("lru", sets=4, ways=2, shct_bits=14)
+    assert not caplog.records
+
+
+def test_registry_context_kwargs_drop_silently(caplog):
+    import logging
+    with caplog.at_level(logging.WARNING, logger="repro.policies.registry"):
+        make_policy("lru", sets=4, ways=2, n_cores=8)  # uniform context
+    assert not caplog.records
+
+
 def test_policy_name_attribute_matches_registry_key():
     for name in ("lru", "care", "shippp", "hawkeye"):
         assert make_policy(name, sets=4, ways=2).name == name

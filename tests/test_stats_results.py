@@ -75,3 +75,56 @@ def test_hit_miss_overlap_fraction_bounds(tiny_cfg):
     trace = build_trace(n=800, seed=5)
     res = simulate([trace.records], cfg=tiny_cfg, llc_policy="lru")
     assert 0.0 <= res.hit_miss_overlap_fraction <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Serialization (to_dict/from_dict exact round trip)
+# ----------------------------------------------------------------------
+
+def test_cachestats_roundtrip_preserves_enum_and_core_keys():
+    st = CacheStats()
+    st.accesses[AccessType.LOAD] = 60
+    st.hits[AccessType.RFO] = 7
+    st.misses[AccessType.PREFETCH] = 3
+    st.mshr_merges = 5
+    st.demand_misses_by_core = {1: 9, 0: 4}
+    back = CacheStats.from_dict(st.to_dict())
+    assert back == st
+    assert back.demand_misses_by_core == {0: 4, 1: 9}
+    assert all(isinstance(k, int) for k in back.demand_misses_by_core)
+    assert back.accesses[AccessType.LOAD] == 60
+
+
+def test_concstats_roundtrip():
+    st = CoreConcurrencyStats(accesses=10, misses=4, pmc_sum=12.5,
+                              overlap_cycle_sum=3.25)
+    st.pmc_histogram[2] = 9
+    assert CoreConcurrencyStats.from_dict(st.to_dict()) == st
+
+
+def test_simresult_roundtrip_synthetic():
+    res = make_result()
+    back = SimResult.from_dict(res.to_dict())
+    assert back == res
+    assert back.to_json() == res.to_json()
+
+
+def test_simresult_roundtrip_real_simulation(tiny_cfg4):
+    traces = [build_trace(n=700, seed=s, name=f"t{s}").records
+              for s in range(4)]
+    res = simulate(traces, cfg=tiny_cfg4, llc_policy="care", prefetch=True)
+    text = res.to_json()
+    back = SimResult.from_json(text)
+    assert back == res                      # exact field equality
+    assert back.to_json() == text           # byte-identical re-serialization
+    # derived metrics survive the trip
+    assert back.mpki() == res.mpki()
+    assert back.pmr == res.pmr
+    assert back.aocpa == res.aocpa
+
+
+def test_simresult_rejects_unknown_schema():
+    data = make_result().to_dict()
+    data["schema"] = 999
+    with pytest.raises(ValueError, match="schema"):
+        SimResult.from_dict(data)
