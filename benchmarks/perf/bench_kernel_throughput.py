@@ -1,0 +1,36 @@
+"""Simulation-kernel throughput — the repo's perf-regression harness.
+
+Unlike the figure benchmarks (which go through the cached sweep runner),
+these points always simulate: the measurement is the kernel itself, as
+records/sec and events/sec on fixed seeds at 1/4/8 cores.  The same
+suite backs ``python -m repro perf``; here it additionally leaves a
+reviewable artifact under ``benchmarks/results/`` and a machine-readable
+``BENCH_perf.json`` at the repo root, so every PR records the perf
+trajectory next to the figure outputs.
+
+Run with ``REPRO_PERF_FULL=1`` for full-size traces (the CLI default);
+the pytest run defaults to smoke-sized traces to keep ``pytest
+benchmarks`` affordable.
+"""
+
+import os
+from pathlib import Path
+
+from repro.harness.perfbench import (format_payload, run_suite,
+                                     write_payload)
+
+from common import emit, once
+
+_FULL = os.environ.get("REPRO_PERF_FULL", "").strip() not in ("", "0")
+_REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def test_kernel_throughput(benchmark):
+    payload = once(benchmark, lambda: run_suite(
+        repeat=2, smoke=not _FULL, progress=True))
+    emit("perf_kernel_throughput", format_payload(payload))
+    write_payload(payload, _REPO_ROOT / "BENCH_perf.json")
+    for name, case in payload["cases"].items():
+        assert case["records_per_s"] > 0, name
+        assert case["events_per_s"] > 0, name
+        assert case["events"] > case["records"], name

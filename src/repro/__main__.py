@@ -8,6 +8,7 @@ Commands
 ``hwcost``     print the Table V / VI hardware-cost accounting
 ``run``        simulate one workload under one or more LLC policies
 ``sweep``      run a named figure sweep through the parallel runner
+``perf``       simulation-kernel throughput microbenchmarks (BENCH_perf.json)
 
 ``run`` and ``sweep`` resolve every point through the persistent result
 store (``~/.cache/repro-care/results`` or ``$REPRO_RESULT_STORE``), so
@@ -156,6 +157,28 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    import json
+
+    from .harness.perfbench import (PERF_CASES, format_payload, run_suite,
+                                    write_payload)
+
+    try:
+        payload = run_suite(args.cases, repeat=args.repeat, smoke=args.smoke,
+                            progress=not args.quiet)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    path = write_payload(payload, args.out)
+    if args.json:
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        print(format_payload(payload))
+    if not args.quiet:
+        print(f"[perf] wrote {path}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -202,6 +225,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suppress per-point progress lines")
     sweep.add_argument("--no-store", action="store_true",
                        help="skip the persistent result store")
+
+    perf = sub.add_parser(
+        "perf", help="simulation-kernel throughput microbenchmarks")
+    perf.add_argument("--cases", nargs="+", default=None,
+                      help="case names (default: all; see "
+                           "repro.harness.perfbench.PERF_CASES)")
+    perf.add_argument("--repeat", type=int, default=3,
+                      help="repetitions per case; best-of wall clock")
+    perf.add_argument("--smoke", action="store_true",
+                      help="CI-sized traces (fast, informational)")
+    perf.add_argument("--json", action="store_true",
+                      help="print the full payload as JSON")
+    perf.add_argument("--out", default="BENCH_perf.json",
+                      help="output file (default BENCH_perf.json)")
+    perf.add_argument("--quiet", action="store_true",
+                      help="suppress per-case progress lines")
     return parser
 
 
@@ -214,6 +253,7 @@ def main(argv: List[str] = None) -> int:
         "hwcost": _cmd_hwcost,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "perf": _cmd_perf,
     }
     return handlers[args.command](args)
 

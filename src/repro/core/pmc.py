@@ -144,8 +144,10 @@ class _CoreMonitor:
         """Advance the sweep to ``now``, distributing interval costs."""
         dt = now - self.last_time
         if dt <= 0:
-            self.last_time = max(self.last_time, now)
+            # Events fire in time order, so ``now`` can never be behind
+            # ``last_time``; a zero interval has nothing to distribute.
             return
+        self.last_time = now
         n_miss = len(self.misses)
         n_total = self.base_count + n_miss
         if n_total > 0:
@@ -153,20 +155,35 @@ class _CoreMonitor:
             if n_total >= 2:
                 # every outstanding access overlaps with >=1 other access
                 self.stats.overlap_cycle_sum += dt * n_total
-        if n_miss > 0:
-            mlp_share = dt / n_miss
+        if n_miss == 0:
+            return
+        if n_miss == 1:
+            # Single-outstanding-miss fast path (the overwhelmingly common
+            # interval shape): the sole entry takes the whole interval.
+            # ``x += dt`` with integer ``dt`` is bit-identical to
+            # ``x += dt / 1``.
+            for entry in self.misses:
+                break
             if self.base_count == 0:
-                # NoNewAccess_x == 1: active pure miss cycles (Algorithm 1)
                 self.stats.pure_miss_cycles += dt
-                pmc_share = dt / n_miss
-                for entry in self.misses:
-                    entry.pmc += pmc_share
-                    entry.mlp_cost += mlp_share
-                    entry.is_pure = True
+                entry.pmc += dt
+                entry.mlp_cost += dt
+                entry.is_pure = True
             else:
-                for entry in self.misses:
-                    entry.mlp_cost += mlp_share
-        self.last_time = now
+                entry.mlp_cost += dt
+            return
+        mlp_share = dt / n_miss
+        if self.base_count == 0:
+            # NoNewAccess_x == 1: active pure miss cycles (Algorithm 1)
+            self.stats.pure_miss_cycles += dt
+            pmc_share = dt / n_miss
+            for entry in self.misses:
+                entry.pmc += pmc_share
+                entry.mlp_cost += mlp_share
+                entry.is_pure = True
+        else:
+            for entry in self.misses:
+                entry.mlp_cost += mlp_share
 
     def finish_miss(self, entry: MSHREntry) -> None:
         """Record a completed miss into the aggregate statistics."""
@@ -203,6 +220,8 @@ class ConcurrencyMonitor:
         self.base_latency = base_latency
         self.n_cores = n_cores
         self._cores = [_CoreMonitor(c, collect_deltas) for c in range(n_cores)]
+        self._post = engine.post
+        self._base_end_cb = self._base_end
 
     # ------------------------------------------------------------------
     # Hooks called by the cache
@@ -216,10 +235,11 @@ class ConcurrencyMonitor:
         mon = self._cores[core]
         mon.accrue(time)
         mon.base_count += 1
-        mon.stats.accesses += 1
+        st = mon.stats
+        st.accesses += 1
         if demand:
-            mon.stats.demand_accesses += 1
-        self.engine.at(time + self.base_latency, self._base_end, core)
+            st.demand_accesses += 1
+        self._post(time + self.base_latency, self._base_end_cb, core)
 
     def _base_end(self, core: int) -> None:
         mon = self._cores[core]

@@ -1,0 +1,158 @@
+"""Simulation-kernel throughput microbenchmarks.
+
+Every paper figure is a sweep of full-hierarchy simulations, so the
+per-event cost of ``Engine``/``Cache``/``MemRequest`` is the ceiling on
+reproduction fidelity (DESIGN.md's "Python speed gate").  This module
+measures that ceiling directly: fixed-seed simulation points at 1, 4 and
+8 cores, timed end to end, reported as **records/sec** (trace records
+retired per wall-clock second) and **events/sec** (engine events
+processed per wall-clock second).
+
+``python -m repro perf`` runs the suite and writes ``BENCH_perf.json``,
+so every PR can record a perf trajectory; ``--smoke`` shrinks the traces
+for CI.  Trace generation and machine construction are excluded from the
+timed region — the numbers isolate the simulation kernel itself.
+
+The cases reuse :class:`~repro.harness.spec.ExperimentSpec` as the point
+description, but bypass the runner/result-store on purpose: a perf
+benchmark must simulate, never serve a cached result.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..sim.system import System
+from .spec import ExperimentSpec
+
+SCHEMA_VERSION = 1
+
+#: Default output file, written into the current directory.
+DEFAULT_OUTPUT = "BENCH_perf.json"
+
+#: Fixed-seed measurement points.  ``4core`` is the headline number (the
+#: multi-copy smoke config every paper figure is built from); 1 and 8
+#: cores bracket the scaling range of Figs. 11-14.
+PERF_CASES: Dict[str, ExperimentSpec] = {
+    "1core": ExperimentSpec.multicopy(
+        "429.mcf", "care", n_cores=1, prefetch=False, n_records=4000, seed=3),
+    "4core": ExperimentSpec.multicopy(
+        "429.mcf", "care", n_cores=4, prefetch=True, n_records=2500, seed=3),
+    "8core": ExperimentSpec.multicopy(
+        "429.mcf", "care", n_cores=8, prefetch=True, n_records=1200, seed=3),
+}
+
+#: Measured records per core in ``--smoke`` mode (CI-sized).
+SMOKE_RECORDS = 400
+
+
+def _build_system(spec: ExperimentSpec, traces: List[Sequence]) -> System:
+    """The machine :meth:`ExperimentSpec.execute` would build."""
+    n = min(len(t) for t in traces)
+    return System(spec.build_config(), traces, llc_policy=spec.policy,
+                  prefetch=spec.prefetch, seed=spec.seed,
+                  measure_records=n // 2, warmup_records=n // 2,
+                  collect_deltas=spec.collect_deltas)
+
+
+def run_case(spec: ExperimentSpec, repeat: int = 3) -> Dict:
+    """Time one simulation point ``repeat`` times; best-of wall clock.
+
+    Traces are generated once, outside the timed region; each repetition
+    builds a fresh :class:`System` (also untimed) and times ``run()``.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    traces = spec.build_traces()
+    walls: List[float] = []
+    records = events = 0
+    for _ in range(repeat):
+        system = _build_system(spec, traces)
+        start = time.perf_counter()
+        result = system.run()
+        walls.append(time.perf_counter() - start)
+        # Deterministic per spec: identical on every repetition.
+        records = sum(core.retired_records for core in system.cores)
+        events = result.events
+    best = min(walls)
+    return {
+        "spec": spec.to_dict(),
+        "repeat": repeat,
+        "wall_s": [round(w, 6) for w in walls],
+        "best_wall_s": round(best, 6),
+        "records": records,
+        "events": events,
+        "records_per_s": round(records / best, 1),
+        "events_per_s": round(events / best, 1),
+    }
+
+
+def run_suite(cases: Optional[Sequence[str]] = None, repeat: int = 3,
+              smoke: bool = False,
+              progress: bool = False) -> Dict:
+    """Run the named cases (default: all) and assemble the JSON payload."""
+    names = list(cases) if cases else sorted(PERF_CASES)
+    unknown = [n for n in names if n not in PERF_CASES]
+    if unknown:
+        raise KeyError(f"unknown perf cases {unknown}; "
+                       f"available: {sorted(PERF_CASES)}")
+    results: Dict[str, Dict] = {}
+    for name in names:
+        spec = PERF_CASES[name]
+        if smoke:
+            spec = replace(spec, n_records=SMOKE_RECORDS)
+        if progress:
+            print(f"[perf] {name}: {spec.label()} x{repeat}...",
+                  file=sys.stderr)
+        results[name] = run_case(spec, repeat=repeat)
+        if progress:
+            r = results[name]
+            print(f"[perf] {name}: {r['records_per_s']:,.0f} records/s, "
+                  f"{r['events_per_s']:,.0f} events/s "
+                  f"(best of {repeat}: {r['best_wall_s']:.3f}s)",
+                  file=sys.stderr)
+    from .store import code_fingerprint
+    return {
+        "schema": SCHEMA_VERSION,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "fingerprint": code_fingerprint()[:16],
+        "smoke": smoke,
+        "cases": results,
+    }
+
+
+def write_payload(payload: Dict, path: Union[str, Path] = DEFAULT_OUTPUT) -> Path:
+    """Persist a suite payload (pretty, sorted keys) and return the path."""
+    out = Path(path)
+    out.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    return out
+
+
+def format_payload(payload: Dict) -> str:
+    """Human-readable table of one suite payload."""
+    from ..analysis import format_table
+    rows = []
+    for name, case in payload["cases"].items():
+        rows.append([
+            name,
+            f"{case['records']}",
+            f"{case['events']}",
+            f"{case['best_wall_s']:.3f}",
+            f"{case['records_per_s']:,.0f}",
+            f"{case['events_per_s']:,.0f}",
+        ])
+    header = ["case", "records", "events", "best wall (s)",
+              "records/s", "events/s"]
+    title = (f"simulation-kernel throughput (python {payload['python']}, "
+             f"best of {next(iter(payload['cases'].values()))['repeat']}"
+             f"{', smoke' if payload.get('smoke') else ''})")
+    return title + "\n" + format_table(header, rows)

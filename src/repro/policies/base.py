@@ -11,31 +11,40 @@ policies simply ignore those fields.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import List, Optional
 
 from ..sim.request import AccessType
 
 
-@dataclass
 class PolicyAccess:
     """Everything a policy may look at for one access.
 
     ``pmc`` / ``mlp_cost`` / ``was_pure`` are only meaningful in ``on_fill``
     for demand/prefetch misses (they describe the miss that fetched the
     block); they are zero for writeback fills.
+
+    A ``__slots__`` class rather than a dataclass: one is constructed per
+    hit and two per fill, which puts construction on the simulator's hot
+    path.
     """
 
-    pc: int
-    addr: int
-    core: int
-    rtype: AccessType
-    prefetch: bool = False      # block is being filled by / hit by a prefetch
-    pmc: float = 0.0
-    mlp_cost: float = 0.0
-    was_pure: bool = False
-    instr_during_miss: int = 0  # instructions the core issued during the miss
-    next_use: int = -1          # future knowledge (standalone sim only; OPT)
+    __slots__ = ("pc", "addr", "core", "rtype", "prefetch", "pmc",
+                 "mlp_cost", "was_pure", "instr_during_miss", "next_use")
+
+    def __init__(self, pc: int, addr: int, core: int, rtype: AccessType,
+                 prefetch: bool = False, pmc: float = 0.0,
+                 mlp_cost: float = 0.0, was_pure: bool = False,
+                 instr_during_miss: int = 0, next_use: int = -1) -> None:
+        self.pc = pc
+        self.addr = addr
+        self.core = core
+        self.rtype = rtype
+        self.prefetch = prefetch    # block being filled by / hit by a prefetch
+        self.pmc = pmc
+        self.mlp_cost = mlp_cost
+        self.was_pure = was_pure
+        self.instr_during_miss = instr_during_miss  # instrs issued during miss
+        self.next_use = next_use    # future knowledge (standalone sim; OPT)
 
     @property
     def is_writeback(self) -> bool:
@@ -44,6 +53,10 @@ class PolicyAccess:
     @property
     def is_demand(self) -> bool:
         return self.rtype in (AccessType.LOAD, AccessType.RFO)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PolicyAccess(pc={self.pc:#x}, addr={self.addr:#x}, "
+                f"core={self.core}, rtype={self.rtype!r})")
 
 
 class ReplacementPolicy:

@@ -35,10 +35,12 @@ class LRUPolicy(ReplacementPolicy):
         return victim
 
     def on_hit(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
-        self._touch(set_idx, way)
+        self._clock += 1
+        self._stamp[set_idx][way] = self._clock
 
     def on_fill(self, set_idx: int, way: int, blocks, access: PolicyAccess) -> None:
-        self._touch(set_idx, way)
+        self._clock += 1
+        self._stamp[set_idx][way] = self._clock
 
     def recency_order(self, set_idx: int) -> List[int]:
         """Ways ordered MRU -> LRU (test/diagnostic helper)."""

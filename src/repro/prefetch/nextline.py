@@ -23,4 +23,6 @@ class NextLinePrefetcher(Prefetcher):
     def train(self, req: MemRequest, hit: bool) -> List[int]:
         self.trained += 1
         base = (req.addr // BLOCK_SIZE) * BLOCK_SIZE
+        if self.degree == 1:
+            return [base + BLOCK_SIZE]
         return [base + i * BLOCK_SIZE for i in range(1, self.degree + 1)]

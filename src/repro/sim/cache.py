@@ -17,12 +17,27 @@ Table VII organization.  The model supports:
 
 The replacement policy is fully pluggable via
 :class:`repro.policies.base.ReplacementPolicy`.
+
+Hot-path organization
+---------------------
+Tag lookup is O(1): each set keeps a ``tag -> way`` dict
+(``_tag2way``) maintained on install/evict/invalidate, replacing the
+per-lookup linear scan over the ways; :meth:`assert_no_duplicates`
+cross-checks the index against the tag array.  A per-set valid-block
+count skips the free-way scan once a set reaches steady state (every
+install into a full set goes straight to victim selection).  Miss fills
+use a cached bound method plus the request's ``mshr_entry`` field
+instead of allocating a closure per miss, and lookups are scheduled
+through :meth:`repro.sim.engine.Engine.post` (the unchecked integer-time
+fast path).  All of this is behaviour-preserving — the golden-equivalence
+suite pins results bit-for-bit.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappush as _heappush
 from typing import Deque, Dict, List, Optional
 
 from .config import BLOCK_BITS, CacheConfig
@@ -30,6 +45,8 @@ from .engine import Engine
 from .mshr import MSHR, MSHREntry
 from .request import AccessType, MemRequest
 from ..policies.base import PolicyAccess
+
+_WRITEBACK = AccessType.WRITEBACK
 
 
 class CacheBlock:
@@ -162,11 +179,29 @@ class Cache:
 
         self._set_mask = cfg.sets - 1
         self._set_bits = cfg.sets.bit_length() - 1
+        self._latency = cfg.latency
+        self._ways = cfg.ways
         self._sets: List[List[CacheBlock]] = [
             [CacheBlock() for _ in range(cfg.ways)] for _ in range(cfg.sets)
         ]
+        #: per-set ``tag -> way`` index over the *valid* blocks; with
+        #: duplicate tags (see ``_drop_mapping``) it maps to the lowest way,
+        #: matching what a first-match linear scan would return
+        self._tag2way: List[Dict[int, int]] = [{} for _ in range(cfg.sets)]
+        #: per-set count of valid blocks (== len of the set's index unless
+        #: duplicate tags exist)
+        self._valid_count: List[int] = [0] * cfg.sets
+        #: number of shadowed duplicate-tag copies across all sets
+        #: (pathological writeback-under-miss interleavings; normally 0)
+        self._dup_tags = 0
         self.mshr = MSHR(cfg.mshr_entries)
         self._pending: Deque[MemRequest] = deque()
+        # Bound methods cached once: ``self._lookup`` in ``access`` (and the
+        # fill callback per miss) would otherwise allocate a fresh bound
+        # method per request.
+        self._fill_cb = self._fill_from_child
+        self._lookup_cb = self._lookup
+        self._post = engine.post
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -181,15 +216,12 @@ class Cache:
         return ((tag << self._set_bits) | set_idx) << BLOCK_BITS
 
     def _find_way(self, set_idx: int, tag: int) -> int:
-        for way, blk in enumerate(self._sets[set_idx]):
-            if blk.valid and blk.tag == tag:
-                return way
-        return -1
+        return self._tag2way[set_idx].get(tag, -1)
 
     def probe(self, addr: int) -> bool:
         """Non-intrusive presence check (used by prefetch filtering/tests)."""
         block = addr >> BLOCK_BITS
-        return self._find_way(self.set_index(block), self.tag_of(block)) >= 0
+        return self.tag_of(block) in self._tag2way[self.set_index(block)]
 
     def invalidate(self, addr: int) -> bool:
         """Drop ``addr``'s block if present (inclusive back-invalidation).
@@ -198,86 +230,134 @@ class Cache:
         that state into its own eviction writeback.
         """
         block = addr >> BLOCK_BITS
-        set_idx = self.set_index(block)
-        way = self._find_way(set_idx, self.tag_of(block))
+        set_idx = block & self._set_mask
+        tag = block >> self._set_bits
+        index = self._tag2way[set_idx]
+        way = index.get(tag, -1)
         if way < 0:
             return False
         blk = self._sets[set_idx][way]
         was_dirty = blk.dirty
         blk.valid = False
         blk.dirty = False
+        self._valid_count[set_idx] -= 1
+        self._drop_mapping(index, set_idx, tag, way)
         self.stats.invalidations += 1
         return was_dirty
+
+    # ------------------------------------------------------------------
+    # Tag-index maintenance
+    # ------------------------------------------------------------------
+    def _drop_mapping(self, index: Dict[int, int], set_idx: int,
+                      tag: int, way: int) -> None:
+        """Remove ``tag``'s mapping after the copy in ``way`` left the set.
+
+        Normally a plain ``del``.  If duplicate-tag copies exist anywhere
+        (a block installed by a writeback while a miss on the same block
+        was outstanding, then installed again by the fill), the remaining
+        lowest-way copy must take over the mapping so the index keeps
+        agreeing with a first-match linear scan.
+        """
+        if self._dup_tags:
+            for w, blk in enumerate(self._sets[set_idx]):
+                if w != way and blk.valid and blk.tag == tag:
+                    index[tag] = w
+                    self._dup_tags -= 1
+                    return
+        del index[tag]
+
+    def _add_mapping(self, index: Dict[int, int], tag: int, way: int) -> None:
+        """Point ``tag`` at ``way``; with a duplicate, keep the lowest way."""
+        prev = index.get(tag)
+        if prev is None:
+            index[tag] = way
+        else:
+            self._dup_tags += 1
+            if way < prev:
+                index[tag] = way
 
     # ------------------------------------------------------------------
     # Access path
     # ------------------------------------------------------------------
     def access(self, req: MemRequest) -> None:
         """Entry point: an access arrives at this level now."""
-        now = self.engine.now
+        engine = self.engine
+        now = engine.now
         self.stats.accesses[req.rtype] += 1
         if self.monitor is not None:
-            self.monitor.on_access(req.core, now, demand=req.rtype.is_demand)
-        self.engine.after(self.cfg.latency, self._lookup, req)
+            self.monitor.on_access(req.core, now, req.is_demand)
+        # Inlined Engine.post — this is the single most frequent scheduling
+        # site in the simulator (one event per access per level).
+        _heappush(engine._heap,
+                  (now + self._latency, engine._seq, self._lookup_cb, (req,)))
+        engine._seq += 1
 
     def _lookup(self, req: MemRequest) -> None:
-        now = self.engine.now
         block = req.block
-        set_idx = self.set_index(block)
-        tag = self.tag_of(block)
-        way = self._find_way(set_idx, tag)
+        set_idx = block & self._set_mask
+        way = self._tag2way[set_idx].get(block >> self._set_bits, -1)
 
         if way >= 0:
             self._handle_hit(req, set_idx, way)
         else:
-            self.stats.misses[req.rtype] += 1
-            if req.rtype.is_demand:
-                by_core = self.stats.demand_misses_by_core
+            stats = self.stats
+            rtype = req.rtype
+            stats.misses[rtype] += 1
+            if req.is_demand:
+                by_core = stats.demand_misses_by_core
                 by_core[req.core] = by_core.get(req.core, 0) + 1
-            if req.rtype == AccessType.WRITEBACK:
+            if rtype == _WRITEBACK:
                 # Write-allocate without fetch: the full line is incoming.
                 self._install(req, dirty=True, entry=None)
             else:
                 self._handle_miss(req)
 
-        if self.prefetcher is not None and req.rtype.is_demand:
-            self._train_prefetcher(req, hit=(way >= 0))
+        prefetcher = self.prefetcher
+        if prefetcher is not None and req.is_demand:
+            for addr in prefetcher.train(req, way >= 0):
+                self._issue_prefetch(addr, req)
 
     def _handle_hit(self, req: MemRequest, set_idx: int, way: int) -> None:
         now = self.engine.now
-        blk = self._sets[set_idx][way]
-        self.stats.hits[req.rtype] += 1
+        blocks = self._sets[set_idx]
+        blk = blocks[way]
+        rtype = req.rtype
+        self.stats.hits[rtype] += 1
         if self.monitor is not None:
             self.monitor.on_hit_observed(req.core, now)
-        access = PolicyAccess(
-            pc=req.pc, addr=req.addr, core=req.core, rtype=req.rtype,
-            prefetch=blk.prefetch,
-        )
-        if req.rtype == AccessType.WRITEBACK:
+        access = PolicyAccess(req.pc, req.addr, req.core, rtype, blk.prefetch)
+        if rtype == _WRITEBACK:
             blk.dirty = True
-            self.policy.on_hit(set_idx, way, self._sets[set_idx], access)
+            self.policy.on_hit(set_idx, way, blocks, access)
             return
-        if blk.prefetch and req.rtype.is_demand:
+        if blk.prefetch and req.is_demand:
             self.stats.prefetch_useful += 1
-        self.policy.on_hit(set_idx, way, self._sets[set_idx], access)
-        if req.rtype.is_demand:
+        self.policy.on_hit(set_idx, way, blocks, access)
+        if req.is_demand:
             blk.prefetch = False      # block has now been demanded
-            if req.rtype == AccessType.RFO:
+            if rtype == AccessType.RFO:
                 blk.dirty = True
-        req.respond(now, served_by=self.name)
+        # Inlined MemRequest.respond
+        req.completed = now
+        req.served_by = self.name
+        cb = req.callback
+        if cb is not None:
+            cb(req, now)
 
     def _handle_miss(self, req: MemRequest) -> None:
-        now = self.engine.now
         block = req.block
-        entry = self.mshr.lookup(block)
+        mshr = self.mshr
+        entries = mshr._entries
+        entry = entries.get(block)
         if entry is not None:
             was_prefetch_only = entry.prefetch_only
-            self.mshr.merge(block, req)
+            entry.merge(req)
+            mshr.merges += 1
             self.stats.mshr_merges += 1
             if was_prefetch_only and not entry.prefetch_only:
                 self.stats.prefetch_promoted += 1
             return
-        if self.mshr.full:
+        if len(entries) >= mshr.capacity:
             self.stats.mshr_stalls += 1
             self._pending.append(req)
             return
@@ -285,62 +365,89 @@ class Cache:
 
     def _start_miss(self, req: MemRequest) -> None:
         now = self.engine.now
-        entry = self.mshr.allocate(req, now)
+        core = req.core
+        # Inlined MSHR.allocate: both callers (`_handle_miss`,
+        # `_retry_pending`) have just confirmed the file is not full and
+        # holds no entry for this block.
+        mshr = self.mshr
+        entries = mshr._entries
+        entry = MSHREntry(req.block, req, now, core)
+        entries[req.block] = entry
+        mshr.allocations += 1
+        occ = len(entries)
+        if occ > mshr.peak_occupancy:
+            mshr.peak_occupancy = occ
         if self.instr_counter is not None:
-            entry.instr_at_issue = self.instr_counter(req.core)
+            entry.instr_at_issue = self.instr_counter(core)
         if self.monitor is not None:
-            self.monitor.on_miss_start(req.core, now, entry)
+            self.monitor.on_miss_start(core, now, entry)
         if self.lower is None:
             raise RuntimeError(f"{self.name}: miss with no lower level")
-        child = req.child(created=now,
-                          callback=lambda r, t, e=entry: self._fill(e, r))
+        child = MemRequest(req.addr, req.pc, core, req.rtype,
+                           created=now, callback=self._fill_cb)
+        child.mshr_entry = entry
         self.lower.access(child)
 
     # ------------------------------------------------------------------
     # Fill path
     # ------------------------------------------------------------------
-    def _fill(self, entry: MSHREntry, child: MemRequest) -> None:
+    def _fill_from_child(self, child: MemRequest, _time: int) -> None:
+        """Fill callback shared by every miss (bound once in ``__init__``)."""
+        entry = child.mshr_entry
         now = self.engine.now
         if self.monitor is not None:
             self.monitor.on_miss_end(entry.core, now, entry)
-        self._install(entry.primary, dirty=entry.has_rfo, entry=entry)
+        self._install(entry.primary, dirty=entry.rfo, entry=entry)
         served = child.served_by or (self.lower.name if self.lower else "")
+        # Inlined MemRequest.respond for each waiter (the per-request
+        # overhead is measurable at this call count).
         for waiter in entry.waiters:
-            waiter.respond(now, served_by=served)
-        self.mshr.free(entry.block)
-        self._retry_pending()
+            waiter.completed = now
+            if served:
+                waiter.served_by = served
+            cb = waiter.callback
+            if cb is not None:
+                cb(waiter, now)
+        del self.mshr._entries[entry.block]
+        if self._pending:
+            self._retry_pending()
 
     def _install(self, req: MemRequest, dirty: bool,
                  entry: Optional[MSHREntry]) -> None:
         """Place ``req``'s block into the array, evicting if needed."""
         block = req.block
-        set_idx = self.set_index(block)
-        tag = self.tag_of(block)
+        set_idx = block & self._set_mask
+        tag = block >> self._set_bits
         blocks = self._sets[set_idx]
-        prefetch_fill = entry.prefetch_only if entry is not None else False
+        index = self._tag2way[set_idx]
+        policy = self.policy
 
-        instr_during = 0
-        if entry is not None and self.instr_counter is not None:
-            instr_during = self.instr_counter(req.core) - entry.instr_at_issue
-        fill_access = PolicyAccess(
-            pc=req.pc, addr=req.addr, core=req.core, rtype=req.rtype,
-            prefetch=prefetch_fill,
-            pmc=entry.pmc if entry is not None else 0.0,
-            mlp_cost=entry.mlp_cost if entry is not None else 0.0,
-            was_pure=entry.is_pure if entry is not None else False,
-            instr_during_miss=instr_during,
-        )
+        if entry is None:
+            prefetch_fill = False
+            fill_access = PolicyAccess(req.pc, req.addr, req.core, req.rtype)
+        else:
+            prefetch_fill = entry.prefetch_only
+            instr_during = 0
+            if self.instr_counter is not None:
+                instr_during = (self.instr_counter(req.core)
+                                - entry.instr_at_issue)
+            fill_access = PolicyAccess(
+                req.pc, req.addr, req.core, req.rtype, prefetch_fill,
+                entry.pmc, entry.mlp_cost, entry.is_pure, instr_during)
 
         way = -1
-        for w, blk in enumerate(blocks):
-            if not blk.valid:
-                way = w
-                break
+        if self._valid_count[set_idx] < self._ways:
+            # Set not yet full: first invalid way wins (skipped entirely in
+            # the steady state, where every set stays full).
+            for w, blk in enumerate(blocks):
+                if not blk.valid:
+                    way = w
+                    break
         if way < 0:
-            way = self.policy.check_way(
-                self.policy.find_victim(set_idx, blocks, fill_access))
+            way = policy.check_way(
+                policy.find_victim(set_idx, blocks, fill_access))
             victim = blocks[way]
-            self.policy.on_evict(set_idx, way, blocks, fill_access)
+            policy.on_evict(set_idx, way, blocks, fill_access)
             self.stats.evictions += 1
             victim_dirty = victim.dirty
             if self.inclusive and self.upper_levels:
@@ -351,6 +458,11 @@ class Cache:
                     victim_dirty |= upper.invalidate(victim_addr)
             if victim_dirty:
                 self._writeback(set_idx, victim)
+            if self._dup_tags:
+                self._drop_mapping(index, set_idx, victim.tag, way)
+            else:
+                del index[victim.tag]
+            self._valid_count[set_idx] -= 1
 
         blk = blocks[way]
         blk.valid = True
@@ -359,18 +471,25 @@ class Cache:
         blk.prefetch = prefetch_fill
         blk.core = req.core
         blk.pc = req.pc
+        self._valid_count[set_idx] += 1
+        prev = index.get(tag)       # inlined _add_mapping
+        if prev is None:
+            index[tag] = way
+        else:
+            self._dup_tags += 1
+            if way < prev:
+                index[tag] = way
         if prefetch_fill:
             self.stats.prefetch_fills += 1
-        self.policy.on_fill(set_idx, way, blocks, fill_access)
+        policy.on_fill(set_idx, way, blocks, fill_access)
 
     def _writeback(self, set_idx: int, victim: CacheBlock) -> None:
         if self.lower is None:
             return                      # memory-side victim: nothing below
         self.stats.writebacks_out += 1
         wb = MemRequest(
-            addr=self.block_addr(set_idx, victim.tag),
-            pc=victim.pc, core=victim.core,
-            rtype=AccessType.WRITEBACK, created=self.engine.now,
+            self.block_addr(set_idx, victim.tag),
+            victim.pc, victim.core, _WRITEBACK, created=self.engine.now,
         )
         # Writebacks leave this cache's port immediately; the lower level
         # accounts for its own latency and bandwidth.
@@ -378,18 +497,23 @@ class Cache:
 
     def _retry_pending(self) -> None:
         """Admit queued requests as MSHR slots free up."""
-        while self._pending and not self.mshr.full:
-            req = self._pending.popleft()
+        pending = self._pending
+        mshr = self.mshr
+        entries = mshr._entries
+        capacity = mshr.capacity
+        while pending and len(entries) < capacity:
+            req = pending.popleft()
             block = req.block
-            way = self._find_way(self.set_index(block), self.tag_of(block))
-            if way >= 0:
+            set_idx = block & self._set_mask
+            if (block >> self._set_bits) in self._tag2way[set_idx]:
                 # Another miss to the same block filled while we waited.
                 self.stats.late_hits += 1
                 req.respond(self.engine.now, served_by=self.name)
                 continue
-            entry = self.mshr.lookup(block)
+            entry = entries.get(block)
             if entry is not None:
-                self.mshr.merge(block, req)
+                entry.merge(req)
+                mshr.merges += 1
                 self.stats.mshr_merges += 1
                 continue
             self._start_miss(req)
@@ -397,24 +521,21 @@ class Cache:
     # ------------------------------------------------------------------
     # Prefetching
     # ------------------------------------------------------------------
-    def _train_prefetcher(self, req: MemRequest, hit: bool) -> None:
-        candidates = self.prefetcher.train(req, hit)
-        for addr in candidates:
-            self._issue_prefetch(addr, req)
-
     def _issue_prefetch(self, addr: int, trigger: MemRequest) -> None:
         if addr < 0:
             return
         block = addr >> BLOCK_BITS
-        if self._find_way(self.set_index(block), self.tag_of(block)) >= 0:
+        if (block >> self._set_bits) in self._tag2way[block & self._set_mask]:
             return                      # already cached
-        if self.mshr.lookup(block) is not None:
+        mshr = self.mshr
+        entries = mshr._entries
+        if block in entries:
             return                      # already in flight
-        if self.mshr.full or self._pending:
+        if len(entries) >= mshr.capacity or self._pending:
             return                      # don't let prefetches add pressure
         preq = MemRequest(
-            addr=addr, pc=trigger.pc, core=trigger.core,
-            rtype=AccessType.PREFETCH, created=self.engine.now,
+            addr, trigger.pc, trigger.core, AccessType.PREFETCH,
+            created=self.engine.now,
         )
         self.prefetcher.issued += 1
         self.access(preq)
@@ -429,9 +550,19 @@ class Cache:
         return sum(1 for s in self._sets for b in s if b.valid)
 
     def assert_no_duplicates(self) -> None:
-        """Invariant: a block address appears at most once in its set."""
+        """Invariants: a block address appears at most once in its set, and
+        the ``tag -> way`` index agrees exactly with the tag array."""
         for set_idx, blocks in enumerate(self._sets):
             tags = [b.tag for b in blocks if b.valid]
             if len(tags) != len(set(tags)):
                 raise AssertionError(
                     f"{self.name}: duplicate tags in set {set_idx}: {tags}")
+            expected = {b.tag: w for w, b in enumerate(blocks) if b.valid}
+            if self._tag2way[set_idx] != expected:
+                raise AssertionError(
+                    f"{self.name}: tag index out of sync in set {set_idx}: "
+                    f"{self._tag2way[set_idx]} != {expected}")
+            if self._valid_count[set_idx] != len(tags):
+                raise AssertionError(
+                    f"{self.name}: valid count out of sync in set "
+                    f"{set_idx}: {self._valid_count[set_idx]} != {len(tags)}")

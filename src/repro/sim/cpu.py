@@ -26,8 +26,8 @@ methodology the paper follows).
 
 from __future__ import annotations
 
-import math
 from collections import deque
+from math import ceil
 from typing import Callable, Deque, Optional, Sequence
 
 from .config import CoreConfig
@@ -89,6 +89,11 @@ class Core:
         if self.measure_records == 0 or not records:
             self.finished = True
 
+        # Shared completion callback: one bound method for every request
+        # (the request carries its ROB entry) instead of a closure per
+        # dispatched record.
+        self._complete_callback = self._complete_cb
+
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Schedule the first dispatch (called by the System)."""
@@ -114,57 +119,85 @@ class Core:
         return self.finish_time - self.measure_start_time
 
     # ------------------------------------------------------------------
-    def _next_record(self):
-        if self._idx >= len(self.records):
-            if not self.replay:
-                return None
-            self._idx = 0
-        return self.records[self._idx]
-
     def _dispatch(self) -> None:
-        """Consume records while the ROB has room, pacing the front end."""
+        """Consume records while the ROB has room, pacing the front end.
+
+        The loop keeps its counters in locals (written back on exit):
+        nothing downstream of ``l1.access`` runs synchronously back into
+        this core, so the object state only needs to be coherent between
+        dispatch rounds, not between loop iterations.
+        """
         if self._stopped:
             return
-        now = self.engine.now
+        engine = self.engine
+        now = engine.now
         width = self.cfg.issue_width
-        measure_end = self.warmup_records + self.measure_records
-        while True:
-            if self.dispatched_records >= measure_end and not self.replay:
-                return
-            rec = self._next_record()
-            if rec is None:
-                return
-            slots = rec.gap + 1
-            if self._rob_occ + slots > self.cfg.rob_entries:
-                return                  # retirement will re-trigger dispatch
-            self._idx += 1
-            measured = (self.warmup_records
-                        <= self.dispatched_records < measure_end)
-            self.dispatched_records += 1
-            self.dispatched_instructions += slots
-            self._rob_occ += slots
-            entry = _RobEntry(slots, measured)
-            self._rob.append(entry)
-            self._front_time = max(self._front_time, float(now)) + slots / width
-            issue_cycle = max(now, int(math.ceil(self._front_time)))
-            rtype = AccessType.RFO if rec.is_write else AccessType.LOAD
-            req = MemRequest(
-                addr=rec.addr, pc=rec.pc, core=self.core_id, rtype=rtype,
-                created=issue_cycle,
-                callback=lambda r, t, e=entry: self._complete(e),
-            )
-            prev = self._prev_entry
-            self._prev_entry = entry
-            if getattr(rec, "dep", False) and prev is not None and not prev.done:
-                # Address-dependent load: the pointer value arrives only
-                # when the previous access completes; hold the issue.
-                if prev.deferred is None:
-                    prev.deferred = []
-                prev.deferred.append(req)
-            elif issue_cycle > now:
-                self.engine.at(issue_cycle, self.l1.access, req)
-            else:
-                self.l1.access(req)
+        rob_limit = self.cfg.rob_entries
+        l1_access = self.l1.access
+        rob_append = self._rob.append
+        core_id = self.core_id
+        callback = self._complete_callback
+        records = self.records
+        n_records = len(records)
+        replay = self.replay
+        warmup = self.warmup_records
+        measure_end = warmup + self.measure_records
+        rfo = AccessType.RFO
+        load = AccessType.LOAD
+        idx = self._idx
+        rob_occ = self._rob_occ
+        front_time = self._front_time
+        dispatched = self.dispatched_records
+        try:
+            while True:
+                if dispatched >= measure_end and not replay:
+                    return
+                if idx >= n_records:
+                    if not replay:
+                        return
+                    idx = 0
+                rec = records[idx]
+                slots = rec.gap + 1
+                if rob_occ + slots > rob_limit:
+                    return              # retirement will re-trigger dispatch
+                idx += 1
+                measured = warmup <= dispatched < measure_end
+                dispatched += 1
+                self.dispatched_instructions += slots
+                rob_occ += slots
+                entry = _RobEntry(slots, measured)
+                rob_append(entry)
+                if front_time < now:
+                    front_time = now + slots / width
+                else:
+                    front_time += slots / width
+                issue_cycle = int(ceil(front_time))
+                if issue_cycle < now:
+                    issue_cycle = now
+                req = MemRequest(rec.addr, rec.pc, core_id,
+                                 rfo if rec.is_write else load,
+                                 issue_cycle, callback)
+                req.rob_entry = entry
+                prev = self._prev_entry
+                self._prev_entry = entry
+                if rec.dep and prev is not None and not prev.done:
+                    # Address-dependent load: the pointer value arrives only
+                    # when the previous access completes; hold the issue.
+                    if prev.deferred is None:
+                        prev.deferred = []
+                    prev.deferred.append(req)
+                elif issue_cycle > now:
+                    engine.post(issue_cycle, l1_access, req)
+                else:
+                    l1_access(req)
+        finally:
+            self._idx = idx
+            self._rob_occ = rob_occ
+            self._front_time = front_time
+            self.dispatched_records = dispatched
+
+    def _complete_cb(self, req: MemRequest, _time: int) -> None:
+        self._complete(req.rob_entry)
 
     def _complete(self, entry: _RobEntry) -> None:
         entry.done = True
@@ -176,9 +209,12 @@ class Core:
         self._dispatch()
 
     def _retire(self) -> None:
+        rob = self._rob
+        if not rob or not rob[0].done:
+            return
         now = self.engine.now
-        while self._rob and self._rob[0].done:
-            entry = self._rob.popleft()
+        while rob and rob[0].done:
+            entry = rob.popleft()
             self._rob_occ -= entry.slots
             self.retired_records += 1
             if not self.warm:

@@ -111,4 +111,6 @@ class DRAM:
             return
         self.stats.reads += 1
         self.stats.total_read_latency += done - now
-        self.engine.at(done, req.respond, done, self.name)
+        # ``done > now`` always (positive array/burst latencies): safe for
+        # the unchecked fast-path scheduler.
+        self.engine.post(done, req.respond, done, self.name)

@@ -49,6 +49,17 @@ class Engine:
             raise EngineError(f"negative delay {delay}")
         self.at(self.now + int(delay), fn, *args)
 
+    def post(self, time: int, fn: Callable[..., None], *args: Any) -> None:
+        """Hot-path variant of :meth:`at` for internal components.
+
+        Skips the ``int()`` coercion and the past-check: the caller
+        guarantees ``time`` is an integer cycle ``>= now`` (all simulator
+        latencies are non-negative integers).  Event ordering is identical
+        to :meth:`at` — same heap, same sequence numbers.
+        """
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+        self._seq += 1
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -77,6 +88,24 @@ class Engine:
         """
         self._stopped = False
         processed = 0
+        if until is None and max_events is None:
+            # Fast path (the common full-run case): pop/dispatch inline
+            # with the heap and heappop bound to locals, writing ``now``
+            # only when the cycle advances (same-cycle drains batch under
+            # one timestamp).  ``events_processed`` is settled in bulk
+            # after the loop; callbacks observe identical ``now`` values
+            # and identical event order as the general loop below.
+            heap = self._heap
+            pop = heapq.heappop
+            now = self.now
+            while heap and not self._stopped:
+                time, _seq, fn, args = pop(heap)
+                if time != now:
+                    self.now = now = time
+                fn(*args)
+                processed += 1
+            self.events_processed += processed
+            return processed
         while self._heap and not self._stopped:
             if until is not None and self._heap[0][0] > until:
                 self.now = until

@@ -176,7 +176,9 @@ class FRFCFSController:
         done = burst_start + cfg.burst_cycles
         ch.bus_free = done
         ch.bank_busy[entry.bank] = True
-        self.engine.at(done, self._complete, ch_idx, entry, done)
+        # ``done > now`` always (positive array/burst latencies): safe for
+        # the unchecked fast-path scheduler.
+        self.engine.post(done, self._complete, ch_idx, entry, done)
 
     def _complete(self, ch_idx: int, entry: _QueuedRequest, done: int) -> None:
         ch = self._channels[ch_idx]

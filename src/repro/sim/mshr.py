@@ -5,52 +5,75 @@ the same block, and applies back-pressure when full.  As in the paper
 (Section IV-B), each entry carries a ``pmc`` accumulator that the PMC
 Measurement Logic updates during active pure miss cycles, plus the analogous
 ``mlp_cost`` accumulator used by SBAR / M-CARE.
+
+``MSHREntry`` is a ``__slots__`` class (identity semantics — entries live
+in monitor sets): one is allocated per miss and its accumulators are
+updated on every PML interval sweep, so both allocation and attribute
+access sit on the simulator's hot path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .request import AccessType, MemRequest
 
 
-@dataclass(eq=False)  # identity semantics: entries live in monitor sets
 class MSHREntry:
     """One outstanding miss (one block) and everything merged into it."""
 
-    block: int
-    primary: MemRequest
-    issue_time: int
-    core: int
-    waiters: List[MemRequest] = field(default_factory=list)
+    __slots__ = (
+        "block", "primary", "issue_time", "core", "waiters", "rfo",
+        "pmc", "mlp_cost", "is_pure", "hit_miss_overlap",
+        "prefetch_only", "instr_at_issue",
+    )
 
-    # --- concurrency bookkeeping (updated by the ConcurrencyMonitor) ------
-    pmc: float = 0.0             # pure miss contribution accumulated so far
-    mlp_cost: float = 0.0        # MLP-based cost accumulated so far
-    is_pure: bool = False        # had >=1 pure miss cycle
-    hit_miss_overlap: bool = False  # >=1 miss cycle hidden under base cycles
+    def __init__(self, block: int, primary: MemRequest, issue_time: int,
+                 core: int, waiters: Optional[List[MemRequest]] = None) -> None:
+        self.block = block
+        self.primary = primary
+        self.issue_time = issue_time
+        self.core = core
+        rtype = primary.rtype
+        if waiters is None:
+            self.waiters = [primary]
+            #: any waiter is an RFO (maintained on merge; the fill path
+            #: reads this once per miss instead of rescanning the waiters)
+            self.rfo = rtype == AccessType.RFO
+        else:
+            waiters.append(primary)
+            self.waiters = waiters
+            self.rfo = any(w.rtype == AccessType.RFO for w in waiters)
 
-    # --- provenance -------------------------------------------------------
-    prefetch_only: bool = True   # no demand request merged in yet
-    instr_at_issue: int = 0      # core's instruction count when miss issued
+        # --- concurrency bookkeeping (updated by the ConcurrencyMonitor) --
+        self.pmc = 0.0               # pure miss contribution accumulated so far
+        self.mlp_cost = 0.0          # MLP-based cost accumulated so far
+        self.is_pure = False         # had >=1 pure miss cycle
+        self.hit_miss_overlap = False  # >=1 miss cycle hidden under base cycles
 
-    def __post_init__(self) -> None:
-        self.waiters.append(self.primary)
-        if self.primary.rtype != AccessType.PREFETCH:
-            self.prefetch_only = False
+        # --- provenance ---------------------------------------------------
+        #: no demand request merged in yet
+        self.prefetch_only = rtype == AccessType.PREFETCH
+        self.instr_at_issue = 0      # core's instruction count when miss issued
 
     def merge(self, req: MemRequest) -> None:
         """Attach a secondary miss to this entry."""
         self.waiters.append(req)
-        if req.rtype != AccessType.PREFETCH:
+        rtype = req.rtype
+        if rtype != AccessType.PREFETCH:
             # A demand merged under a prefetch-initiated miss: the block is
             # no longer a pure prefetch (ChampSim's prefetch promotion).
             self.prefetch_only = False
+            if rtype == AccessType.RFO:
+                self.rfo = True
 
     @property
     def has_rfo(self) -> bool:
-        return any(w.rtype == AccessType.RFO for w in self.waiters)
+        return self.rfo
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MSHREntry(block={self.block:#x}, core={self.core}, "
+                f"waiters={len(self.waiters)}, pmc={self.pmc:.1f})")
 
 
 class MSHR:
@@ -78,15 +101,17 @@ class MSHR:
 
     def allocate(self, req: MemRequest, time: int) -> MSHREntry:
         """Allocate a new entry for ``req``'s block.  Caller checks ``full``."""
-        if self.full:
+        entries = self._entries
+        if len(entries) >= self.capacity:
             raise RuntimeError("MSHR allocate on full file")
-        if req.block in self._entries:
-            raise RuntimeError(f"duplicate MSHR allocation for block {req.block:#x}")
-        entry = MSHREntry(block=req.block, primary=req, issue_time=time, core=req.core)
-        self._entries[req.block] = entry
+        block = req.block
+        if block in entries:
+            raise RuntimeError(f"duplicate MSHR allocation for block {block:#x}")
+        entry = MSHREntry(block, req, time, req.core)
+        entries[block] = entry
         self.allocations += 1
-        if len(self._entries) > self.peak_occupancy:
-            self.peak_occupancy = len(self._entries)
+        if len(entries) > self.peak_occupancy:
+            self.peak_occupancy = len(entries)
         return entry
 
     def merge(self, block: int, req: MemRequest) -> MSHREntry:

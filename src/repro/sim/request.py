@@ -5,11 +5,19 @@ misses creates a *child* request toward the next level, wiring its own fill
 handler as the child's callback.  Completion information that replacement
 policies consume (the measured PMC / MLP-based cost of the miss, prefetch and
 writeback provenance) is carried on the request.
+
+``MemRequest`` is deliberately a ``__slots__`` class rather than a
+dataclass: one is allocated per trace record per level, so construction
+cost and attribute access are on the simulator's hot path.  ``block`` and
+``is_demand`` are precomputed at construction instead of derived per use
+(the hierarchy reads them several times per request), and the
+``mshr_entry`` / ``rob_entry`` fields let the cache fill path and the
+core completion path use cached bound methods as callbacks instead of
+allocating a closure per miss.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Callable, Optional
 
@@ -38,7 +46,6 @@ def _take_request_id() -> int:
     return _next_request_id
 
 
-@dataclass
 class MemRequest:
     """One memory access in flight.
 
@@ -46,22 +53,37 @@ class MemRequest:
     requester.  Writebacks have no callback.
     """
 
-    addr: int
-    pc: int
-    core: int
-    rtype: AccessType
-    created: int = 0
-    callback: Optional[Callable[["MemRequest", int], None]] = None
-    req_id: int = field(default_factory=_take_request_id)
+    __slots__ = (
+        "addr", "pc", "core", "rtype", "created", "callback", "req_id",
+        "completed", "served_by", "block", "is_demand",
+        "mshr_entry", "rob_entry",
+    )
 
-    # Filled in as the request is serviced --------------------------------
-    completed: int = -1          # cycle data became available
-    served_by: str = ""          # name of the level that supplied the data
+    def __init__(self, addr: int, pc: int, core: int, rtype: AccessType,
+                 created: int = 0,
+                 callback: Optional[Callable[["MemRequest", int], None]] = None,
+                 req_id: Optional[int] = None) -> None:
+        global _next_request_id
+        self.addr = addr
+        self.pc = pc
+        self.core = core
+        self.rtype = rtype
+        self.created = created
+        self.callback = callback
+        if req_id is None:
+            _next_request_id += 1
+            req_id = _next_request_id
+        self.req_id = req_id
 
-    @property
-    def block(self) -> int:
-        """Block-aligned address (cache line number)."""
-        return self.addr >> BLOCK_BITS
+        # Filled in as the request is serviced ----------------------------
+        self.completed = -1          # cycle data became available
+        self.served_by = ""          # name of the level that supplied the data
+
+        # Precomputed hot-path fields -------------------------------------
+        self.block = addr >> BLOCK_BITS       # cache line number
+        self.is_demand = rtype <= AccessType.RFO   # LOAD or RFO
+        self.mshr_entry = None       # set by Cache._start_miss on children
+        self.rob_entry = None        # set by Core._dispatch on core requests
 
     @property
     def is_prefetch(self) -> bool:
@@ -76,10 +98,10 @@ class MemRequest:
               created: int = 0) -> "MemRequest":
         """A request for the same block sent to the next level down."""
         return MemRequest(
-            addr=self.addr,
-            pc=self.pc,
-            core=self.core,
-            rtype=self.rtype if rtype is None else rtype,
+            self.addr,
+            self.pc,
+            self.core,
+            self.rtype if rtype is None else rtype,
             created=created,
             callback=callback,
         )
@@ -91,3 +113,8 @@ class MemRequest:
             self.served_by = served_by
         if self.callback is not None:
             self.callback(self, time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MemRequest(addr={self.addr:#x}, pc={self.pc:#x}, "
+                f"core={self.core}, rtype={self.rtype!r}, "
+                f"req_id={self.req_id})")

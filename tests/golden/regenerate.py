@@ -1,0 +1,64 @@
+"""Regenerate the golden-equivalence fixtures.
+
+The fixtures pin the simulator's observable behaviour: each file holds an
+:class:`~repro.harness.spec.ExperimentSpec` and the byte-exact
+``SimResult.to_dict()`` it produced at the commit the fixture was
+generated.  ``tests/test_golden_equivalence.py`` re-runs every spec and
+asserts the result is unchanged, so hot-path optimizations are proven
+bit-identical.
+
+Only regenerate after an *intentional* behaviour change (a model fix, a
+new statistic), never to make a failing optimization pass — and say so in
+the commit message.  Usage::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent.parent / "src"))
+
+from repro.harness.spec import ExperimentSpec  # noqa: E402
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: Coverage: both presets, 1/2/4 cores, spec/gap/mix suites, prefetch
+#: on/off, locality-only and concurrency-aware policies, delta collection.
+GOLDEN_SPECS = {
+    "tiny_1c_lru_spec_nopf": ExperimentSpec.multicopy(
+        "429.mcf", "lru", n_cores=1, prefetch=False, n_records=600,
+        seed=3, preset="tiny"),
+    "tiny_2c_care_spec_pf": ExperimentSpec.multicopy(
+        "429.mcf", "care", n_cores=2, prefetch=True, n_records=400,
+        seed=3, preset="tiny"),
+    "tiny_4c_shippp_gap_pf": ExperimentSpec.multicopy(
+        "bfs-or", "shippp", n_cores=4, prefetch=True, n_records=300,
+        seed=5, suite="gap", preset="tiny"),
+    "default_4c_care_mix_nopf": ExperimentSpec.mix(
+        0, "care", n_cores=4, prefetch=False, n_records=300, seed=7),
+    "default_4c_care_spec_pf": ExperimentSpec.multicopy(
+        "429.mcf", "care", n_cores=4, prefetch=True, n_records=500,
+        seed=3),
+    "default_1c_mcare_spec_deltas": ExperimentSpec.multicopy(
+        "433.milc", "mcare", n_cores=1, prefetch=False, n_records=500,
+        seed=11, collect_deltas=True),
+}
+
+
+def main() -> int:
+    for name, spec in sorted(GOLDEN_SPECS.items()):
+        result = spec.execute()
+        payload = {"name": name, "spec": spec.to_dict(),
+                   "result": result.to_dict()}
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, sort_keys=True,
+                                   separators=(",", ":")) + "\n")
+        print(f"wrote {path.name}: cycles={result.sim_cycles} "
+              f"events={result.events}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Golden-equivalence suite: the simulator's results are pinned bit-exact.
+
+Each fixture in ``tests/golden/`` holds an ExperimentSpec and the
+``SimResult.to_dict()`` it produced before the hot-path optimization work
+(tag->way index, ``__slots__`` request/MSHR objects, engine fast path,
+PMC interval fast path).  Re-running the spec must reproduce the stored
+result *byte for byte* after canonical JSON serialization — any drift in
+event ordering, float accumulation, or policy decisions fails here.
+
+Regenerate (only after an intentional model change) with::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.spec import ExperimentSpec
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+FIXTURES = sorted(GOLDEN_DIR.glob("*.json"))
+
+
+def _canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=[p.stem for p in FIXTURES])
+def test_result_is_bit_identical_to_golden_fixture(path):
+    raw = path.read_text()
+    stored = json.loads(raw)
+    spec = ExperimentSpec.from_dict(stored["spec"])
+    result = spec.execute()
+    got = _canonical({"name": stored["name"], "spec": spec.to_dict(),
+                      "result": result.to_dict()})
+    if got != raw:
+        diff = "\n".join(difflib.unified_diff(
+            _canonical(stored).splitlines(),
+            got.splitlines(),
+            fromfile=f"golden/{path.name}", tofile="current", lineterm=""))
+        pytest.fail(
+            f"simulation result drifted from golden fixture {path.name};\n"
+            f"if the behaviour change is intentional, regenerate with "
+            f"'PYTHONPATH=src python tests/golden/regenerate.py'\n{diff}")
+
+
+def test_fixture_coverage():
+    """The suite must keep covering the key configuration axes."""
+    assert len(FIXTURES) >= 6
+    specs = [json.loads(p.read_text())["spec"] for p in FIXTURES]
+    assert {s["preset"] for s in specs} >= {"tiny", "default"}
+    assert {s["n_cores"] for s in specs} >= {1, 2, 4}
+    assert {s["policy"] for s in specs} >= {"lru", "care", "mcare", "shippp"}
+    assert {s["prefetch"] for s in specs} == {True, False}
+    assert any(s["collect_deltas"] for s in specs)

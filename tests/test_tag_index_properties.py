@@ -1,0 +1,185 @@
+"""Property tests for the cache's O(1) tag->way index.
+
+The index (``Cache._tag2way``) replaced the linear scan over the ways on
+the lookup hot path.  These tests pin its contract: after any sequence of
+accesses, fills, prefetches, writebacks and invalidations — including the
+pathological duplicate-tag state a writeback can create while a demand
+miss on the same block is outstanding — ``_find_way`` answers exactly
+what a first-match linear scan over the tag array would answer.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies.lru import LRUPolicy
+from repro.sim import AccessType, Cache, CacheConfig, Engine, MemRequest
+
+
+class _SlowLower:
+    """Lower level answering after a fixed delay (keeps misses outstanding)."""
+
+    name = "MEM"
+
+    def __init__(self, engine, delay=8):
+        self.engine = engine
+        self.delay = delay
+
+    def access(self, req):
+        if req.rtype != AccessType.WRITEBACK:
+            done = self.engine.now + self.delay
+            self.engine.at(done, req.respond, done, self.name)
+
+
+def make_cache(sets=2, ways=2, latency=1, mshr=2, delay=8):
+    eng = Engine()
+    cfg = CacheConfig("C", sets, ways, latency, mshr)
+    cache = Cache(cfg, eng, LRUPolicy(sets, ways), lower=_SlowLower(eng, delay))
+    return eng, cache
+
+
+def reference_find_way(cache, set_idx, tag):
+    """The pre-index implementation: first-match linear scan."""
+    for way, blk in enumerate(cache._sets[set_idx]):
+        if blk.valid and blk.tag == tag:
+            return way
+    return -1
+
+
+def check_index_matches_linear_scan(cache):
+    """The index must answer exactly like a linear scan, for every set."""
+    dup_free = True
+    for set_idx, blocks in enumerate(cache._sets):
+        valid_tags = [b.tag for b in blocks if b.valid]
+        if len(valid_tags) != len(set(valid_tags)):
+            dup_free = False
+        index = cache._tag2way[set_idx]
+        assert set(index) == set(valid_tags)
+        for tag in valid_tags:
+            assert cache._find_way(set_idx, tag) == \
+                reference_find_way(cache, set_idx, tag)
+        # absent tags must miss
+        probe_tag = max(valid_tags, default=0) + 1
+        assert cache._find_way(set_idx, probe_tag) == -1
+        assert cache._valid_count[set_idx] == len(valid_tags)
+    if dup_free:
+        # With no duplicate-tag copies present, the full invariant check
+        # must pass (it raises on any index/array disagreement).  Duplicate
+        # states are legal transients — a writeback installed a block while
+        # a demand miss on it was outstanding — and are covered above by
+        # the linear-scan comparison instead.
+        assert cache._dup_tags == 0
+        cache.assert_no_duplicates()
+
+
+@st.composite
+def op_streams(draw):
+    n = draw(st.integers(40, 160))
+    seed = draw(st.integers(0, 2 ** 16))
+    r = random.Random(seed)
+    ops = []
+    for _ in range(n):
+        block = r.randrange(24)       # 24 blocks over 2x2 cache: conflicts
+        roll = r.random()
+        if roll < 0.45:
+            kind = AccessType.LOAD
+        elif roll < 0.60:
+            kind = AccessType.RFO
+        elif roll < 0.72:
+            kind = AccessType.PREFETCH
+        elif roll < 0.88:
+            kind = AccessType.WRITEBACK
+        else:
+            kind = "invalidate"
+        ops.append((block, kind, r.randrange(0, 6)))
+    return ops
+
+
+@settings(max_examples=40, deadline=None)
+@given(op_streams())
+def test_tag_index_agrees_with_linear_scan_on_random_streams(ops):
+    """Random access/prefetch/writeback/invalidate stream, interleaved with
+    partial event processing so fills land between operations."""
+    eng, cache = make_cache()
+    for i, (block, kind, steps) in enumerate(ops):
+        addr = block * 64
+        if kind == "invalidate":
+            cache.invalidate(addr)
+        else:
+            cache.access(MemRequest(addr=addr, pc=0x40 + block, core=0,
+                                    rtype=kind, created=eng.now))
+        for _ in range(steps):
+            if not eng.step():
+                break
+        check_index_matches_linear_scan(cache)
+    eng.run()
+    check_index_matches_linear_scan(cache)
+    # conservation: every access resolved as a hit, miss, or was a merge
+    total = cache.stats.total_accesses
+    assert total == sum(cache.stats.hits.values()) + \
+        sum(cache.stats.misses.values())
+
+
+def test_duplicate_tag_state_keeps_first_match_semantics():
+    """Force the writeback-under-miss duplicate and walk the index through
+    it: install, first-copy invalidation (remap), second-copy removal."""
+    eng, cache = make_cache(sets=1, ways=2, latency=1, mshr=2, delay=20)
+    C, B = 0x000, 0x100
+
+    # C resident at way 0
+    cache.access(MemRequest(addr=C, pc=1, core=0, rtype=AccessType.LOAD))
+    eng.run()
+    assert cache._find_way(0, cache.tag_of(C >> 6)) == 0
+
+    # demand miss on B outstanding...
+    cache.access(MemRequest(addr=B, pc=2, core=0, rtype=AccessType.LOAD))
+    while eng.now < 5:
+        eng.step()
+    # ...when a writeback to B arrives: installs directly into way 1
+    cache.access(MemRequest(addr=B, pc=3, core=0, rtype=AccessType.WRITEBACK,
+                            created=eng.now))
+    eng.run()
+
+    # The fill evicted LRU C (way 0) and installed B again: two valid
+    # copies of B.  First-match semantics: way 0 wins.
+    tag_b = cache.tag_of(B >> 6)
+    blocks = cache.blocks_in_set(0)
+    assert blocks[0].valid and blocks[0].tag == tag_b
+    assert blocks[1].valid and blocks[1].tag == tag_b
+    assert cache._dup_tags == 1
+    assert cache._find_way(0, tag_b) == 0 == reference_find_way(cache, 0, tag_b)
+    assert cache.probe(B)
+
+    # Dropping the first copy must remap the index to the surviving one.
+    # (The demand-filled way-0 copy is clean, so invalidate reports False.)
+    assert cache.invalidate(B) is False
+    assert cache._dup_tags == 0
+    assert cache._find_way(0, tag_b) == 1 == reference_find_way(cache, 0, tag_b)
+    assert cache.probe(B)
+    cache.assert_no_duplicates()
+
+    # Dropping the second copy (the dirty writeback install) empties the set.
+    assert cache.invalidate(B) is True
+    assert cache._find_way(0, tag_b) == -1
+    assert not cache.probe(B)
+    assert cache._valid_count[0] == 0
+    cache.assert_no_duplicates()
+
+
+def test_assert_no_duplicates_catches_index_desync():
+    """The cross-check must fail loudly if the index stops mirroring the
+    tag array (guards the maintenance logic itself)."""
+    eng, cache = make_cache()
+    cache.access(MemRequest(addr=0x0, pc=1, core=0, rtype=AccessType.LOAD))
+    eng.run()
+    cache.assert_no_duplicates()
+    set_idx = cache.set_index(0)
+    tag = cache.tag_of(0)
+    cache._tag2way[set_idx][tag + 7] = 0     # poison the index
+    try:
+        cache.assert_no_duplicates()
+    except AssertionError:
+        pass
+    else:
+        raise AssertionError("index desync was not detected")
