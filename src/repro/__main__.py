@@ -9,6 +9,7 @@ Commands
 ``run``        simulate one workload under one or more LLC policies
 ``sweep``      run a named figure sweep through the parallel runner
 ``perf``       simulation-kernel throughput microbenchmarks (BENCH_perf.json)
+``check``      SimSan static lint over the tree (see repro.checks.lint)
 
 ``run`` and ``sweep`` resolve every point through the persistent result
 store (``~/.cache/repro-care/results`` or ``$REPRO_RESULT_STORE``), so
@@ -73,6 +74,13 @@ def _cmd_hwcost(_args) -> int:
     return 0
 
 
+def _enable_sanitizer() -> None:
+    """Propagate ``--sanitize`` through the environment so worker
+    processes (and every System built downstream) inherit it."""
+    import os
+    os.environ["REPRO_SANITIZE"] = "1"
+
+
 def _cmd_run(args) -> int:
     import json
 
@@ -80,6 +88,8 @@ def _cmd_run(args) -> int:
     from .harness import ExperimentSpec, run_many
     from .workloads import gap_workload_names
 
+    if args.sanitize:
+        _enable_sanitizer()
     if args.workload in gap_workload_names():
         suite = "gap"
     else:
@@ -134,6 +144,8 @@ def _cmd_sweep(args) -> int:
         for name, title in available_sweeps():
             print(f"{name:8s} {title}")
         return 0
+    if args.sanitize:
+        _enable_sanitizer()
     if args.no_store:
         set_default_store(None)
     overrides = {}
@@ -179,6 +191,33 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from .checks.lint import RULES, format_finding, run_lint
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.id}  {rule.name:26s} [{rule.scope}] {rule.summary}")
+        return 0
+    paths = args.paths
+    if not paths:
+        from pathlib import Path
+        default = Path("src")
+        paths = [default] if default.is_dir() else [Path(__file__).parent]
+    try:
+        findings = run_lint(paths)
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(format_finding(finding, fix_hints=args.fix_hints))
+    if findings:
+        print(f"\n{len(findings)} finding(s). Suppress a reviewed line with "
+              "'# simsan: skip=<ID>'; see --fix-hints for remedies.")
+        return 1
+    print("simsan: clean")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -205,6 +244,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "0 = one per CPU)")
     run.add_argument("--no-store", action="store_true",
                      help="skip the persistent result store")
+    run.add_argument("--sanitize", action="store_true",
+                     help="enable the runtime invariant sanitizer "
+                          "(REPRO_SANITIZE=1; store-cached points are not "
+                          "re-simulated — add --no-store to force checking)")
 
     sweep = sub.add_parser(
         "sweep", help="run a named figure sweep through the parallel runner")
@@ -225,6 +268,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suppress per-point progress lines")
     sweep.add_argument("--no-store", action="store_true",
                        help="skip the persistent result store")
+    sweep.add_argument("--sanitize", action="store_true",
+                       help="enable the runtime invariant sanitizer for "
+                            "every freshly simulated point")
 
     perf = sub.add_parser(
         "perf", help="simulation-kernel throughput microbenchmarks")
@@ -241,6 +287,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="output file (default BENCH_perf.json)")
     perf.add_argument("--quiet", action="store_true",
                       help="suppress per-case progress lines")
+
+    check = sub.add_parser(
+        "check", help="SimSan static lint (determinism + hot-path rules)")
+    check.add_argument("paths", nargs="*",
+                       help="files or directories (default: src)")
+    check.add_argument("--fix-hints", action="store_true",
+                       help="print a fix hint under every finding")
+    check.add_argument("--list-rules", action="store_true",
+                       help="list the rule catalogue and exit")
     return parser
 
 
@@ -254,6 +309,7 @@ def main(argv: List[str] = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "perf": _cmd_perf,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

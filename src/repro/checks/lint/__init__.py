@@ -1,0 +1,29 @@
+"""SimSan static lint: repo-specific determinism and hot-path rules.
+
+Public surface::
+
+    from repro.checks.lint import run_lint, lint_source, format_finding
+    findings = run_lint(["src"])          # [] when the tree is clean
+
+See :mod:`repro.checks.lint.rules` for the rule catalogue and the
+``# simsan: skip=<ID>`` suppression syntax.
+"""
+
+from __future__ import annotations
+
+from .engine import (Finding, format_finding, lint_file, lint_source,
+                     module_name_for, run_lint)
+from .rules import ALL_RULE_IDS, HOT_PATH_MANIFEST, RULES, Rule
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "Finding",
+    "HOT_PATH_MANIFEST",
+    "RULES",
+    "Rule",
+    "format_finding",
+    "lint_file",
+    "lint_source",
+    "module_name_for",
+    "run_lint",
+]

@@ -1,0 +1,174 @@
+"""Rule registry for the SimSan lint engine.
+
+Every rule has a stable ID (``SS1xx`` determinism, ``SS2xx`` hot-path
+discipline, ``SS3xx`` API hygiene), a one-line summary shown with each
+finding, and a fix hint shown under ``--fix-hints``.  A rule's *scope*
+limits which modules it applies to:
+
+``deterministic``
+    ``repro.sim`` and ``repro.core`` — the packages whose behaviour the
+    golden-equivalence fixtures pin bit-for-bit.
+``sim``
+    ``repro.sim`` only.
+``hot``
+    Only inside functions on the simulator's hot path: tagged with a
+    ``# hot:`` comment on (or directly above) their ``def`` line, or
+    listed in :data:`HOT_PATH_MANIFEST`.
+``all``
+    Every linted module.
+
+Suppress a finding by appending ``# simsan: skip=<ID>`` (comma-separate
+several IDs) to the offending line, or exempt a whole file with
+``# simsan: skip-file``.  Suppressions should say *why* in the
+surrounding comment — they are reviewed like code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable ID, human summary, and a concrete fix hint."""
+
+    id: str
+    name: str
+    summary: str
+    hint: str
+    scope: str  # "deterministic" | "sim" | "hot" | "all"
+
+
+_RULES = [
+    # ------------------------------------------------------------------
+    # SS1xx — determinism.  The simulator must be a pure function of its
+    # seed: equal specs produce byte-identical SimResult JSON anywhere.
+    # ------------------------------------------------------------------
+    Rule(
+        id="SS101",
+        name="unseeded-random",
+        summary="use of the process-global random module (unseeded RNG)",
+        hint="construct a seeded generator: rng = random.Random(seed) and "
+             "call methods on it; never random.random()/randint()/choice() "
+             "or random.Random() without a seed",
+        scope="deterministic",
+    ),
+    Rule(
+        id="SS102",
+        name="wall-clock-read",
+        summary="wall-clock or timer read inside the simulator",
+        hint="simulated time is engine.now; wall-clock reads "
+             "(time.time/perf_counter/datetime.now) make runs "
+             "irreproducible — measure outside repro.sim/repro.core",
+        scope="deterministic",
+    ),
+    Rule(
+        id="SS103",
+        name="unordered-set-iteration",
+        summary="iteration over an unordered set",
+        hint="set iteration order depends on hashes (identity hashes vary "
+             "per process); iterate sorted(s) or use a dict/list; if the "
+             "loop body is genuinely order-independent, suppress with a "
+             "comment saying why",
+        scope="deterministic",
+    ),
+    Rule(
+        id="SS104",
+        name="import-time-env-read",
+        summary="os.environ read at import time",
+        hint="read the environment lazily inside a function (see "
+             "harness.scale.BenchScale); import-time reads freeze config "
+             "before callers can set it and break spawned workers",
+        scope="all",
+    ),
+    # ------------------------------------------------------------------
+    # SS2xx — hot-path discipline (the PR 2 optimization invariants).
+    # ------------------------------------------------------------------
+    Rule(
+        id="SS201",
+        name="missing-slots",
+        summary="class in repro.sim without __slots__",
+        hint="add __slots__ = (...) — per-instance dicts cost allocation "
+             "and cache misses on the simulator's per-event objects "
+             "(dataclasses, enums and exceptions are exempt)",
+        scope="sim",
+    ),
+    Rule(
+        id="SS202",
+        name="hot-closure",
+        summary="lambda or nested function allocated in a hot-path function",
+        hint="allocate one bound method in __init__ and carry per-call "
+             "context on the request (see Cache._fill_cb / "
+             "MemRequest.mshr_entry) instead of a closure per call",
+        scope="hot",
+    ),
+    Rule(
+        id="SS203",
+        name="hot-fstring-log",
+        summary="eagerly formatted logging/print in a hot-path function",
+        hint="f-strings format even when the log level is off; use lazy "
+             "%-style logging args, or move the log out of the hot path",
+        scope="hot",
+    ),
+    Rule(
+        id="SS204",
+        name="raw-event-scheduling",
+        summary="event scheduled around the Engine (direct heap push)",
+        hint="schedule only via Engine.post/at/after so sequence numbers "
+             "and event ordering stay engine-owned; approved inlined "
+             "sites must carry a suppression explaining the measurement",
+        scope="deterministic",
+    ),
+    # ------------------------------------------------------------------
+    # SS3xx — API hygiene.
+    # ------------------------------------------------------------------
+    Rule(
+        id="SS301",
+        name="mutable-default-arg",
+        summary="mutable default argument",
+        hint="default to None and create the list/dict/set inside the "
+             "function body",
+        scope="all",
+    ),
+    Rule(
+        id="SS302",
+        name="bare-except",
+        summary="bare except clause",
+        hint="catch a specific exception type; bare except swallows "
+             "KeyboardInterrupt/SystemExit and hides simulator bugs",
+        scope="all",
+    ),
+]
+
+RULES: Dict[str, Rule] = {r.id: r for r in _RULES}
+
+ALL_RULE_IDS: FrozenSet[str] = frozenset(RULES)
+
+#: Functions on the simulator's hot path (one entry per event or per
+#: request), addressed by dotted qualname.  ``# hot:`` comments on a
+#: ``def`` line are the in-file equivalent; this manifest covers the
+#: core set so the tagging cannot silently drift.
+HOT_PATH_MANIFEST: FrozenSet[str] = frozenset({
+    "repro.sim.engine.Engine.post",
+    "repro.sim.engine.Engine.run",
+    "repro.sim.engine.Engine.step",
+    "repro.sim.cache.Cache.access",
+    "repro.sim.cache.Cache._lookup",
+    "repro.sim.cache.Cache._handle_hit",
+    "repro.sim.cache.Cache._handle_miss",
+    "repro.sim.cache.Cache._start_miss",
+    "repro.sim.cache.Cache._fill_from_child",
+    "repro.sim.cache.Cache._install",
+    "repro.sim.cpu.Core._dispatch",
+    "repro.sim.cpu.Core._complete",
+    "repro.sim.cpu.Core._retire",
+    "repro.sim.dram.DRAM.access",
+    "repro.sim.memctrl.FRFCFSController.access",
+    "repro.sim.memctrl.FRFCFSController._issue",
+    "repro.core.pmc._CoreMonitor.accrue",
+    "repro.core.pmc.ConcurrencyMonitor.on_access",
+    "repro.core.pmc.ConcurrencyMonitor._base_end",
+    "repro.core.pmc.ConcurrencyMonitor.on_miss_start",
+    "repro.core.pmc.ConcurrencyMonitor.on_miss_end",
+})

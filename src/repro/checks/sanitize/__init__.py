@@ -1,0 +1,36 @@
+"""SimSan runtime sanitizer: opt-in invariant checks on a live System.
+
+Public surface::
+
+    from repro.checks.sanitize import Sanitizer, SanitizerError, attach_sanitizer
+    san = attach_sanitizer(system, interval=1000)   # hooks engine.watcher
+    system.engine.run()                             # raises SanitizerError on a trip
+
+Enable on any run with ``REPRO_SANITIZE=1`` (or ``--sanitize`` on the
+CLI); tune the sweep period with ``REPRO_SANITIZE_INTERVAL``.
+"""
+
+from __future__ import annotations
+
+from .sanitizer import (ALL_INVARIANTS, DEFAULT_INTERVAL,
+                        DEFAULT_MSHR_AGE_LIMIT, SAN_INCL, SAN_MSHR, SAN_PMC,
+                        SAN_TAG, SAN_TIME, SAN_WAITER, Sanitizer,
+                        SanitizerError, attach_sanitizer, sanitize_enabled,
+                        sanitize_interval)
+
+__all__ = [
+    "ALL_INVARIANTS",
+    "DEFAULT_INTERVAL",
+    "DEFAULT_MSHR_AGE_LIMIT",
+    "SAN_INCL",
+    "SAN_MSHR",
+    "SAN_PMC",
+    "SAN_TAG",
+    "SAN_TIME",
+    "SAN_WAITER",
+    "Sanitizer",
+    "SanitizerError",
+    "attach_sanitizer",
+    "sanitize_enabled",
+    "sanitize_interval",
+]

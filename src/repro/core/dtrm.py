@@ -17,7 +17,7 @@ steps.  Initial values: low = 50, high = 350 cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 

@@ -161,8 +161,9 @@ class _CoreMonitor:
             # Single-outstanding-miss fast path (the overwhelmingly common
             # interval shape): the sole entry takes the whole interval.
             # ``x += dt`` with integer ``dt`` is bit-identical to
-            # ``x += dt / 1``.
-            for entry in self.misses:
+            # ``x += dt / 1``.  Set iteration here only extracts the sole
+            # element, so ordering cannot matter.
+            for entry in self.misses:  # simsan: skip=SS103
                 break
             if self.base_count == 0:
                 self.stats.pure_miss_cycles += dt
@@ -177,12 +178,14 @@ class _CoreMonitor:
             # NoNewAccess_x == 1: active pure miss cycles (Algorithm 1)
             self.stats.pure_miss_cycles += dt
             pmc_share = dt / n_miss
-            for entry in self.misses:
+            # Each entry accumulates an identical share: the update is
+            # commutative across entries, so set order is immaterial.
+            for entry in self.misses:  # simsan: skip=SS103
                 entry.pmc += pmc_share
                 entry.mlp_cost += mlp_share
                 entry.is_pure = True
         else:
-            for entry in self.misses:
+            for entry in self.misses:  # simsan: skip=SS103 (uniform update)
                 entry.mlp_cost += mlp_share
 
     def finish_miss(self, entry: MSHREntry) -> None:

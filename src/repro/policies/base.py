@@ -11,7 +11,7 @@ policies simply ignore those fields.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from ..sim.request import AccessType
 

@@ -15,7 +15,7 @@ Bloom-filter variant directly (bounded bits, false positives and all).
 
 from __future__ import annotations
 
-from .base import PolicyAccess, ReplacementPolicy
+from .base import PolicyAccess
 from .dip import _RecencyBase
 from .registry import register
 from ..core.signatures import hash_pc

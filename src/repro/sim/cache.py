@@ -38,13 +38,18 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from heapq import heappush as _heappush
-from typing import Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional
 
 from .config import BLOCK_BITS, CacheConfig
 from .engine import Engine
 from .mshr import MSHR, MSHREntry
 from .request import AccessType, MemRequest
 from ..policies.base import PolicyAccess
+
+if TYPE_CHECKING:
+    from ..core.pmc import ConcurrencyMonitor
+    from ..policies.base import ReplacementPolicy
+    from ..prefetch.base import Prefetcher
 
 _WRITEBACK = AccessType.WRITEBACK
 
@@ -159,8 +164,18 @@ class CacheStats:
 class Cache:
     """One cache level wired to a lower level (another cache or DRAM)."""
 
-    def __init__(self, cfg: CacheConfig, engine: Engine, policy,
-                 lower=None, monitor=None, prefetcher=None,
+    __slots__ = (
+        "cfg", "name", "engine", "policy", "lower", "monitor", "prefetcher",
+        "inclusive", "upper_levels", "instr_counter", "stats", "_set_mask",
+        "_set_bits", "_latency", "_ways", "_sets", "_tag2way", "_valid_count",
+        "_dup_tags", "mshr", "_pending", "_fill_cb", "_lookup_cb", "_post",
+    )
+
+    def __init__(self, cfg: CacheConfig, engine: Engine,
+                 policy: "ReplacementPolicy",
+                 lower: Optional[Any] = None,
+                 monitor: Optional["ConcurrencyMonitor"] = None,
+                 prefetcher: Optional["Prefetcher"] = None,
                  inclusive: bool = False) -> None:
         self.cfg = cfg
         self.name = cfg.name
@@ -174,7 +189,7 @@ class Cache:
         self.upper_levels: List["Cache"] = []
         # Optional core-instruction counter, wired by the System: lets
         # cost-based policies (LACS) see instructions issued during a miss.
-        self.instr_counter = None
+        self.instr_counter: Optional[Callable[[int], int]] = None
         self.stats = CacheStats()
 
         self._set_mask = cfg.sets - 1
@@ -287,8 +302,9 @@ class Cache:
         if self.monitor is not None:
             self.monitor.on_access(req.core, now, req.is_demand)
         # Inlined Engine.post — this is the single most frequent scheduling
-        # site in the simulator (one event per access per level).
-        _heappush(engine._heap,
+        # site in the simulator (one event per access per level); identical
+        # heap tuple and sequence numbering, measured in DESIGN.md §9.
+        _heappush(engine._heap,  # simsan: skip=SS204
                   (now + self._latency, engine._seq, self._lookup_cb, (req,)))
         engine._seq += 1
 

@@ -28,11 +28,14 @@ from __future__ import annotations
 
 from collections import deque
 from math import ceil
-from typing import Callable, Deque, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Sequence
 
 from .config import CoreConfig
 from .engine import Engine
 from .request import AccessType, MemRequest
+
+if TYPE_CHECKING:
+    from .cache import Cache
 
 
 class _RobEntry:
@@ -42,13 +45,23 @@ class _RobEntry:
         self.slots = slots
         self.done = False
         self.measured = measured
-        self.deferred = None     # requests address-dependent on this one
+        # requests address-dependent on this one (lazily allocated)
+        self.deferred: Optional[List["MemRequest"]] = None
 
 
 class Core:
     """One core consuming a memory-access trace."""
 
-    def __init__(self, core_id: int, engine: Engine, l1,
+    __slots__ = (
+        "core_id", "engine", "l1", "records", "cfg", "measure_records",
+        "warmup_records", "replay", "start_offset", "on_finish", "on_warm",
+        "_idx", "_rob", "_prev_entry", "_rob_occ", "_front_time", "_stopped",
+        "dispatched_instructions", "dispatched_records", "retired_records",
+        "retired_instructions", "warm", "measure_start_time", "finished",
+        "finish_time", "_complete_callback",
+    )
+
+    def __init__(self, core_id: int, engine: Engine, l1: "Cache",
                  records: Sequence, cfg: CoreConfig,
                  measure_records: Optional[int] = None,
                  warmup_records: int = 0,

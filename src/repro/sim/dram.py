@@ -12,8 +12,8 @@ consume bank and bus time but generate no response.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from .config import DRAMConfig
 from .engine import Engine
@@ -62,6 +62,8 @@ class _Bank:
 class DRAM:
     """Memory-side terminator of the hierarchy (``lower`` of the LLC)."""
 
+    __slots__ = ("cfg", "engine", "stats", "_banks", "_bus_free")
+
     name = "DRAM"
 
     def __init__(self, cfg: DRAMConfig, engine: Engine) -> None:
@@ -75,7 +77,7 @@ class DRAM:
         self._bus_free: List[int] = [0] * cfg.channels
 
     # ------------------------------------------------------------------
-    def _route(self, addr: int):
+    def _route(self, addr: int) -> Tuple[int, int, int]:
         """Address interleaving: block-granular across channels, then banks."""
         block = addr >> 6
         channel = block % self.cfg.channels

@@ -23,12 +23,22 @@ class EngineError(RuntimeError):
 class Engine:
     """Deterministic discrete-event engine with integer-cycle time."""
 
+    __slots__ = ("now", "_heap", "_seq", "_stopped", "events_processed",
+                 "watcher", "watch_interval")
+
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: List[Tuple[int, int, Callable[..., None], Tuple[Any, ...]]] = []
         self._seq: int = 0
         self._stopped: bool = False
         self.events_processed: int = 0
+        #: Observation hook for the sanitizer: when set, :meth:`run` calls
+        #: ``watcher()`` every ``watch_interval`` processed events.  The
+        #: watcher must only *read* simulator state (never schedule or
+        #: mutate), so watched runs stay byte-identical.  ``None`` (the
+        #: default) keeps the zero-overhead fast loop.
+        self.watcher: Optional[Callable[[], None]] = None
+        self.watch_interval: int = 4096
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -89,23 +99,27 @@ class Engine:
         self._stopped = False
         processed = 0
         if until is None and max_events is None:
-            # Fast path (the common full-run case): pop/dispatch inline
-            # with the heap and heappop bound to locals, writing ``now``
-            # only when the cycle advances (same-cycle drains batch under
-            # one timestamp).  ``events_processed`` is settled in bulk
-            # after the loop; callbacks observe identical ``now`` values
-            # and identical event order as the general loop below.
-            heap = self._heap
-            pop = heapq.heappop
-            now = self.now
-            while heap and not self._stopped:
-                time, _seq, fn, args = pop(heap)
-                if time != now:
-                    self.now = now = time
-                fn(*args)
-                processed += 1
-            self.events_processed += processed
-            return processed
+            if self.watcher is None:
+                # Fast path (the common full-run case): pop/dispatch inline
+                # with the heap and heappop bound to locals, writing ``now``
+                # only when the cycle advances (same-cycle drains batch under
+                # one timestamp).  ``events_processed`` is settled in bulk
+                # after the loop; callbacks observe identical ``now`` values
+                # and identical event order as the general loop below.
+                heap = self._heap
+                pop = heapq.heappop
+                now = self.now
+                while heap and not self._stopped:
+                    time, _seq, fn, args = pop(heap)
+                    if time != now:
+                        self.now = now = time
+                    fn(*args)
+                    processed += 1
+                self.events_processed += processed
+                return processed
+            return self._run_watched()
+        watcher = self.watcher
+        countdown = self.watch_interval
         while self._heap and not self._stopped:
             if until is not None and self._heap[0][0] > until:
                 self.now = until
@@ -114,4 +128,37 @@ class Engine:
                 break
             self.step()
             processed += 1
+            if watcher is not None:
+                countdown -= 1
+                if countdown <= 0:
+                    countdown = self.watch_interval
+                    watcher()
+        return processed
+
+    def _run_watched(self) -> int:
+        """Full run with the sanitizer watcher invoked every
+        ``watch_interval`` events.  Identical event order, ``now``
+        batching, and ``events_processed`` accounting as the fast loop —
+        the watcher observes state between events and must not mutate it.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        now = self.now
+        base = self.events_processed
+        processed = 0
+        watcher = self.watcher
+        interval = self.watch_interval
+        countdown = interval
+        while heap and not self._stopped:
+            time, _seq, fn, args = pop(heap)
+            if time != now:
+                self.now = now = time
+            fn(*args)
+            processed += 1
+            countdown -= 1
+            if countdown <= 0:
+                countdown = interval
+                self.events_processed = base + processed
+                watcher()
+        self.events_processed = base + processed
         return processed

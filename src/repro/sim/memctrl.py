@@ -18,8 +18,8 @@ Select it with ``DRAMConfig(scheduler="frfcfs")``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from .config import DRAMConfig
 from .dram import DRAMStats, _Bank
@@ -47,6 +47,9 @@ class _QueuedRequest:
 
 
 class _Channel:
+    __slots__ = ("banks", "bank_busy", "bus_free", "read_q", "write_q",
+                 "pending_reads", "draining")
+
     def __init__(self, banks: int) -> None:
         self.banks = [_Bank() for _ in range(banks)]
         self.bank_busy = [False] * banks
@@ -59,6 +62,9 @@ class _Channel:
 
 class FRFCFSController:
     """Drop-in replacement for :class:`~repro.sim.dram.DRAM`."""
+
+    __slots__ = ("cfg", "engine", "read_queue", "write_queue",
+                 "drain_high_mark", "drain_low_mark", "stats", "_channels")
 
     name = "DRAM"
 
@@ -79,7 +85,7 @@ class FRFCFSController:
         ]
 
     # ------------------------------------------------------------------
-    def _route(self, addr: int):
+    def _route(self, addr: int) -> Tuple[int, int, int]:
         block = addr >> 6
         channel = block % self.cfg.channels
         bank = (block // self.cfg.channels) % self.cfg.banks_per_channel

@@ -79,6 +79,9 @@ class MSHREntry:
 class MSHR:
     """Fixed-capacity MSHR file for one cache."""
 
+    __slots__ = ("capacity", "_entries", "peak_occupancy", "merges",
+                 "allocations")
+
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("MSHR capacity must be >= 1")

@@ -19,7 +19,7 @@ allocating a closure per miss.
 from __future__ import annotations
 
 from enum import IntEnum
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from .config import BLOCK_BITS
 
@@ -82,8 +82,10 @@ class MemRequest:
         # Precomputed hot-path fields -------------------------------------
         self.block = addr >> BLOCK_BITS       # cache line number
         self.is_demand = rtype <= AccessType.RFO   # LOAD or RFO
-        self.mshr_entry = None       # set by Cache._start_miss on children
-        self.rob_entry = None        # set by Core._dispatch on core requests
+        # set by Cache._start_miss on children / Core._dispatch on core
+        # requests; typed Any to avoid import cycles on the hot path.
+        self.mshr_entry: Optional[Any] = None
+        self.rob_entry: Optional[Any] = None
 
     @property
     def is_prefetch(self) -> bool:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .cache import CacheStats
 from .dram import DRAMStats
@@ -42,7 +42,7 @@ class SimResult:
     def total_instructions(self) -> int:
         return sum(self.instructions)
 
-    def mpki(self, core: int = None) -> float:
+    def mpki(self, core: Optional[int] = None) -> float:
         """LLC demand misses per kilo-instruction.
 
         With ``core=None``, aggregate over all cores (multi-core MPKI).

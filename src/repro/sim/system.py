@@ -34,6 +34,11 @@ _CORE_STAGGER = 17
 class System:
     """One simulated machine ready to :meth:`run`."""
 
+    __slots__ = ("cfg", "prefetch", "max_events", "engine", "dram",
+                 "llc_policy", "monitor", "llc", "l1s", "l2s", "cores",
+                 "_finished", "_warm", "warmup_records", "sanitize",
+                 "sanitizer")
+
     def __init__(self, cfg: SystemConfig, traces: Sequence[Sequence],
                  llc_policy: Union[str, PolicyFactory] = "lru",
                  prefetch: bool = False,
@@ -41,13 +46,18 @@ class System:
                  measure_records: Optional[int] = None,
                  warmup_records: Optional[int] = None,
                  collect_deltas: bool = False,
-                 max_events: Optional[int] = None) -> None:
+                 max_events: Optional[int] = None,
+                 sanitize: Optional[bool] = None) -> None:
         if len(traces) != cfg.n_cores:
             raise ValueError(
                 f"{cfg.n_cores} cores but {len(traces)} traces supplied")
         self.cfg = cfg
         self.prefetch = prefetch
         self.max_events = max_events
+        #: tri-state: True/False force the runtime sanitizer on/off; None
+        #: defers to ``REPRO_SANITIZE`` (read lazily at :meth:`run`)
+        self.sanitize = sanitize
+        self.sanitizer = None
         self.engine = Engine()
 
         # Memory side ------------------------------------------------------
@@ -136,18 +146,42 @@ class System:
                 c.stop()
             self.engine.stop()
 
+    def _sanitize_enabled(self) -> bool:
+        if self.sanitize is not None:
+            return self.sanitize
+        from ..checks.sanitize import sanitize_enabled
+        return sanitize_enabled()
+
     def run(self) -> SimResult:
-        """Run to completion of every core's measured region."""
+        """Run to completion of every core's measured region.
+
+        With the sanitizer enabled (``sanitize=True`` or
+        ``REPRO_SANITIZE=1``), invariants are swept every
+        ``REPRO_SANITIZE_INTERVAL`` events and once more at the end; a
+        trip raises :class:`~repro.checks.sanitize.SanitizerError`.  The
+        sanitizer observes between events and never perturbs state, so
+        results are byte-identical either way.
+        """
+        sanitizer = None
+        if self._sanitize_enabled():
+            from ..checks.sanitize import attach_sanitizer
+            self.sanitizer = sanitizer = attach_sanitizer(self)
         for core in self.cores:
             core.start()
-        self.engine.run(max_events=self.max_events)
-        if self._finished < self.cfg.n_cores:
-            unfinished = [c.core_id for c in self.cores if not c.finished]
-            raise RuntimeError(
-                f"simulation ended with unfinished cores {unfinished} "
-                f"(events={self.engine.events_processed}); raise max_events "
-                "or check for starvation")
-        self.monitor.finalize()
+        try:
+            self.engine.run(max_events=self.max_events)
+            if self._finished < self.cfg.n_cores:
+                unfinished = [c.core_id for c in self.cores if not c.finished]
+                raise RuntimeError(
+                    f"simulation ended with unfinished cores {unfinished} "
+                    f"(events={self.engine.events_processed}); raise "
+                    "max_events or check for starvation")
+            self.monitor.finalize()
+            if sanitizer is not None:
+                sanitizer.check()
+        finally:
+            if sanitizer is not None:
+                sanitizer.uninstall()
         return self._result()
 
     def _result(self) -> SimResult:

@@ -9,7 +9,7 @@ denominator for IPC and MPKI.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, NamedTuple, Sequence
+from typing import Iterable, List, NamedTuple
 
 from ..sim.config import BLOCK_SIZE
 

@@ -7,11 +7,17 @@ generated.  ``tests/test_golden_equivalence.py`` re-runs every spec and
 asserts the result is unchanged, so hot-path optimizations are proven
 bit-identical.
 
+Every spec is executed with the runtime sanitizer enabled (see
+:mod:`repro.checks.sanitize`): if any invariant trips, **no fixture file
+is written** — a corrupted simulator must never mint new ground truth.
+``--check`` verifies the existing fixtures under the sanitizer without
+writing anything (the CI sanitizer job runs this).
+
 Only regenerate after an *intentional* behaviour change (a model fix, a
 new statistic), never to make a failing optimization pass — and say so in
 the commit message.  Usage::
 
-    PYTHONPATH=src python tests/golden/regenerate.py
+    PYTHONPATH=src python tests/golden/regenerate.py [--check]
 """
 
 import json
@@ -20,7 +26,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent.parent / "src"))
 
+from repro.checks.sanitize import SanitizerError, sanitize_interval  # noqa: E402
 from repro.harness.spec import ExperimentSpec  # noqa: E402
+from repro.sim.system import System  # noqa: E402
 
 GOLDEN_DIR = Path(__file__).resolve().parent
 
@@ -47,16 +55,56 @@ GOLDEN_SPECS = {
 }
 
 
-def main() -> int:
+def execute_sanitized(spec: ExperimentSpec):
+    """``spec.execute()`` with the runtime sanitizer force-enabled."""
+    traces = spec.build_traces()
+    n = min(len(t) for t in traces)
+    system = System(spec.build_config(), traces, llc_policy=spec.policy,
+                    prefetch=spec.prefetch, seed=spec.seed,
+                    measure_records=n // 2, warmup_records=n // 2,
+                    collect_deltas=spec.collect_deltas, sanitize=True)
+    result = system.run()
+    return result, system.sanitizer
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    check_only = "--check" in argv
+
+    payloads = {}
     for name, spec in sorted(GOLDEN_SPECS.items()):
-        result = spec.execute()
-        payload = {"name": name, "spec": spec.to_dict(),
-                   "result": result.to_dict()}
+        try:
+            result, sanitizer = execute_sanitized(spec)
+        except SanitizerError as exc:
+            print(f"SANITIZER TRIP on {name}: {exc}", file=sys.stderr)
+            print("no fixtures written — fix the simulator first",
+                  file=sys.stderr)
+            return 1
+        payloads[name] = {"name": name, "spec": spec.to_dict(),
+                          "result": result.to_dict()}
+        print(f"ran {name}: cycles={result.sim_cycles} "
+              f"events={result.events} sanitizer_sweeps="
+              f"{sanitizer.checks_run} (interval {sanitize_interval()})")
+
+    if check_only:
+        stale = []
+        for name, payload in payloads.items():
+            path = GOLDEN_DIR / f"{name}.json"
+            if not path.exists() or json.loads(path.read_text()) != payload:
+                stale.append(name)
+        if stale:
+            print(f"fixtures differ from sanitized rerun: {stale}",
+                  file=sys.stderr)
+            return 1
+        print(f"all {len(payloads)} fixtures verified under the sanitizer")
+        return 0
+
+    # Every spec survived the sanitizer: now (and only now) write.
+    for name, payload in sorted(payloads.items()):
         path = GOLDEN_DIR / f"{name}.json"
         path.write_text(json.dumps(payload, sort_keys=True,
                                    separators=(",", ":")) + "\n")
-        print(f"wrote {path.name}: cycles={result.sim_cycles} "
-              f"events={result.events}")
+        print(f"wrote {path.name}")
     return 0
 
 

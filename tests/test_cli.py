@@ -106,3 +106,44 @@ def test_run_rejects_zero_records(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_check_command_clean_file(capsys, tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def add(a, b):\n    return a + b\n")
+    assert main(["check", str(clean)]) == 0
+    assert "simsan: clean" in capsys.readouterr().out
+
+
+def test_check_command_reports_findings(capsys, tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def merge(dst, extras=[]):\n    dst.extend(extras)\n")
+    assert main(["check", str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "SS301" in out and "simsan: skip=" in out
+
+
+def test_check_command_fix_hints(capsys, tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def merge(dst, extras=[]):\n    dst.extend(extras)\n")
+    assert main(["check", "--fix-hints", str(dirty)]) == 1
+    assert "fix:" in capsys.readouterr().out
+
+
+def test_check_command_syntax_error(capsys, tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    assert main(["check", str(bad)]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_check_command_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "SS101" in out and "SS302" in out
+
+
+def test_check_command_repo_tree_is_clean(capsys):
+    from pathlib import Path
+    src = Path(__file__).resolve().parent.parent / "src"
+    assert main(["check", str(src)]) == 0
