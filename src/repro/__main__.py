@@ -9,7 +9,12 @@ Commands
 ``run``        simulate one workload under one or more LLC policies
 ``sweep``      run a named figure sweep through the parallel runner
 ``perf``       simulation-kernel throughput microbenchmarks (BENCH_perf.json)
+``report``     render a stored run/sweep as a markdown or JSON report
 ``check``      SimSan static lint over the tree (see repro.checks.lint)
+
+``run`` and ``sweep`` accept observability flags (``--metrics-interval``,
+``--trace``) that attach the ``repro.obs`` sampler/tracer to every
+freshly simulated point; artifacts land under ``--obs-dir``.
 
 ``run`` and ``sweep`` resolve every point through the persistent result
 store (``~/.cache/repro-care/results`` or ``$REPRO_RESULT_STORE``), so
@@ -81,6 +86,24 @@ def _enable_sanitizer() -> None:
     os.environ["REPRO_SANITIZE"] = "1"
 
 
+def _enable_obs(args) -> bool:
+    """Propagate observability flags through the environment (same
+    mechanism as ``--sanitize``) so pool workers inherit them.  Returns
+    True when any observer was enabled."""
+    import os
+    enabled = False
+    if args.metrics_interval:
+        os.environ["REPRO_METRICS_INTERVAL"] = str(args.metrics_interval)
+        enabled = True
+    if args.trace:
+        os.environ["REPRO_TRACE"] = "1"
+        os.environ["REPRO_TRACE_SAMPLE"] = str(args.trace_sample)
+        enabled = True
+    if enabled:
+        os.environ["REPRO_OBS_DIR"] = args.obs_dir
+    return enabled
+
+
 def _cmd_run(args) -> int:
     import json
 
@@ -90,6 +113,7 @@ def _cmd_run(args) -> int:
 
     if args.sanitize:
         _enable_sanitizer()
+    obs_on = _enable_obs(args)
     if args.workload in gap_workload_names():
         suite = "gap"
     else:
@@ -104,7 +128,10 @@ def _cmd_run(args) -> int:
     except ValueError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    results = run_many(specs, workers=args.workers, store=store)
+    # Observer artifacts only exist when the simulator actually runs, so
+    # enabling them forces fresh simulation past the memo/store caches.
+    results = run_many(specs, workers=args.workers, store=store,
+                       force=obs_on)
     if args.json:
         print(json.dumps(
             [{"spec": spec.to_dict(), "result": res.to_dict()}
@@ -146,6 +173,11 @@ def _cmd_sweep(args) -> int:
         return 0
     if args.sanitize:
         _enable_sanitizer()
+    obs_on = _enable_obs(args)
+    if obs_on and not args.no_store:
+        print("[sweep] observability on: store-cached points are served "
+              "without artifacts; use --no-store to observe every point",
+              file=sys.stderr)
     if args.no_store:
         set_default_store(None)
     overrides = {}
@@ -172,22 +204,69 @@ def _cmd_sweep(args) -> int:
 def _cmd_perf(args) -> int:
     import json
 
-    from .harness.perfbench import (PERF_CASES, format_payload, run_suite,
-                                    write_payload)
+    from .harness.perfbench import (DEFAULT_OUTPUT, diff_payloads,
+                                    format_payload, run_suite, write_payload)
 
+    if args.diff:
+        base_path, fresh_path = args.diff
+        try:
+            with open(base_path) as handle:
+                base = json.load(handle)
+            with open(fresh_path) as handle:
+                fresh = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(diff_payloads(base, fresh))
+        return 0
     try:
         payload = run_suite(args.cases, repeat=args.repeat, smoke=args.smoke,
                             progress=not args.quiet)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    path = write_payload(payload, args.out)
+    # Smoke payloads are CI-sized and not comparable to the committed
+    # baseline, so they default to a separate file instead of clobbering
+    # BENCH_perf.json.
+    out = args.out
+    if out is None:
+        out = "BENCH_perf.smoke.json" if args.smoke else DEFAULT_OUTPUT
+    path = write_payload(payload, out)
     if args.json:
         print(json.dumps(payload, sort_keys=True, indent=2))
     else:
         print(format_payload(payload))
     if not args.quiet:
         print(f"[perf] wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from .harness.store import ResultStore, default_store
+    from .obs.report import generate
+
+    if args.store:
+        store = ResultStore(args.store)
+    else:
+        store = default_store()
+        if store is None:
+            print("error: no result store (set REPRO_RESULT_STORE or pass "
+                  "--store PATH)", file=sys.stderr)
+            return 2
+    try:
+        text = generate(store, fmt=args.format, baseline=args.baseline,
+                        policies=args.policies)
+    except ValueError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.out:
+        out = Path(args.out)
+        out.write_text(text if text.endswith("\n") else text + "\n")
+        print(f"[report] wrote {out}", file=sys.stderr)
+    else:
+        print(text)
     return 0
 
 
@@ -216,6 +295,23 @@ def _cmd_check(args) -> int:
         return 1
     print("simsan: clean")
     return 0
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by ``run`` and ``sweep``."""
+    parser.add_argument("--metrics-interval", type=int, default=0,
+                        metavar="CYCLES",
+                        help="sample interval metrics every CYCLES cycles "
+                             "(0 = off); writes <tag>.metrics.json")
+    parser.add_argument("--trace", action="store_true",
+                        help="emit Chrome-trace request-lifecycle spans "
+                             "(<tag>.trace.json; open in ui.perfetto.dev)")
+    parser.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                        help="trace every Nth demand request per core "
+                             "(default 1 = all)")
+    parser.add_argument("--obs-dir", default="obs", metavar="DIR",
+                        help="directory for observability artifacts "
+                             "(default ./obs)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -248,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable the runtime invariant sanitizer "
                           "(REPRO_SANITIZE=1; store-cached points are not "
                           "re-simulated — add --no-store to force checking)")
+    _add_obs_args(run)
 
     sweep = sub.add_parser(
         "sweep", help="run a named figure sweep through the parallel runner")
@@ -271,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--sanitize", action="store_true",
                        help="enable the runtime invariant sanitizer for "
                             "every freshly simulated point")
+    _add_obs_args(sweep)
 
     perf = sub.add_parser(
         "perf", help="simulation-kernel throughput microbenchmarks")
@@ -283,10 +381,28 @@ def build_parser() -> argparse.ArgumentParser:
                       help="CI-sized traces (fast, informational)")
     perf.add_argument("--json", action="store_true",
                       help="print the full payload as JSON")
-    perf.add_argument("--out", default="BENCH_perf.json",
-                      help="output file (default BENCH_perf.json)")
+    perf.add_argument("--out", default=None,
+                      help="output file (default BENCH_perf.json, or "
+                           "BENCH_perf.smoke.json with --smoke)")
     perf.add_argument("--quiet", action="store_true",
                       help="suppress per-case progress lines")
+    perf.add_argument("--diff", nargs=2, metavar=("BASE", "FRESH"),
+                      help="print a markdown trend table comparing two "
+                           "payload files instead of running the suite")
+
+    report = sub.add_parser(
+        "report", help="render a stored run/sweep as markdown or JSON")
+    report.add_argument("--store", default=None, metavar="PATH",
+                        help="result-store root (default: the process "
+                             "default store / $REPRO_RESULT_STORE)")
+    report.add_argument("--format", choices=["md", "json"], default="md")
+    report.add_argument("--out", default=None, metavar="PATH",
+                        help="write to PATH instead of stdout")
+    report.add_argument("--baseline", default="lru",
+                        help="policy speedups are normalized to "
+                             "(default lru)")
+    report.add_argument("--policies", nargs="+", default=None,
+                        help="restrict the report to these policies")
 
     check = sub.add_parser(
         "check", help="SimSan static lint (determinism + hot-path rules)")
@@ -309,6 +425,7 @@ def main(argv: List[str] = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "perf": _cmd_perf,
+        "report": _cmd_report,
         "check": _cmd_check,
     }
     return handlers[args.command](args)

@@ -110,17 +110,22 @@ class Sanitizer:
     # Engine hookup
     # ------------------------------------------------------------------
     def install(self) -> "Sanitizer":
-        """Register on the engine's watcher slot."""
-        if self.engine.watcher is not None:
-            raise RuntimeError("engine already has a watcher installed")
-        self.engine.watcher = self.check
-        self.engine.watch_interval = self.interval
+        """Register on the engine's watcher slot.
+
+        Other observers (e.g. the metrics sampler) may coexist — the
+        engine multiplexes them — but a second *sanitizer* on the same
+        engine is a usage error and is refused.
+        """
+        for fn in self.engine.watchers:
+            if getattr(fn, "__func__", None) is Sanitizer.check:
+                raise RuntimeError("engine already has a sanitizer installed")
+        self.engine.add_watcher(self.check, self.interval)
         self._installed = True
         return self
 
     def uninstall(self) -> None:
         if self._installed:
-            self.engine.watcher = None
+            self.engine.remove_watcher(self.check)
             self._installed = False
 
     # ------------------------------------------------------------------

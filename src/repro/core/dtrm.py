@@ -92,6 +92,13 @@ class DTRM:
             self._end_period()
         return pmcs
 
+    def snapshot(self) -> dict:
+        """Read-only threshold state for the metrics sampler / reports."""
+        return {"low": self.low, "high": self.high,
+                "total_misses": self.total_misses,
+                "total_costly": self.total_costly,
+                "periods": len(self.threshold_history)}
+
     # ------------------------------------------------------------------
     def _end_period(self) -> None:
         cfg = self.cfg

@@ -308,6 +308,30 @@ class ConcurrencyMonitor:
         """|PMC delta| between consecutive misses per PC (Table III)."""
         return list(self._cores[core].pmc_deltas)
 
+    def snapshot(self) -> Dict[str, object]:
+        """Cheap read-only aggregate for the metrics sampler.
+
+        Unlike :meth:`total` this avoids building a
+        :class:`CoreConcurrencyStats` per call; it is invoked once per
+        sampling interval mid-run and must not mutate anything.
+        """
+        accesses = misses = pure = outstanding = 0
+        pmc_sum = 0.0
+        histogram = [0] * PMC_NUM_BINS
+        for mon in self._cores:
+            s = mon.stats
+            accesses += s.accesses
+            misses += s.misses
+            pure += s.pure_misses
+            pmc_sum += s.pmc_sum
+            outstanding += len(mon.misses)
+            hist = s.pmc_histogram
+            for i in range(PMC_NUM_BINS):
+                histogram[i] += hist[i]
+        return {"accesses": accesses, "misses": misses,
+                "pure_misses": pure, "pmc_sum": pmc_sum,
+                "outstanding": outstanding, "histogram": histogram}
+
     # Aggregates over all cores -----------------------------------------
     def total(self) -> CoreConcurrencyStats:
         agg = CoreConcurrencyStats()

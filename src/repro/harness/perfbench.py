@@ -137,6 +137,53 @@ def write_payload(payload: Dict, path: Union[str, Path] = DEFAULT_OUTPUT) -> Pat
     return out
 
 
+def diff_payloads(base: Dict, fresh: Dict) -> str:
+    """Markdown trend table comparing two suite payloads (CI step summary).
+
+    Informational only — wall-clock noise on shared runners makes this a
+    trend signal, not a gate.  Cases present in only one payload show
+    ``n/a``; a smoke/full or fingerprint mismatch is called out under the
+    table because records/s values are then not directly comparable.
+    """
+    lines = [
+        "| case | base rec/s | fresh rec/s | Δ rec/s | base ev/s "
+        "| fresh ev/s |",
+        "|---|---:|---:|---:|---:|---:|",
+    ]
+    names = sorted(set(base.get("cases", {})) | set(fresh.get("cases", {})))
+    for name in names:
+        b = base.get("cases", {}).get(name)
+        f = fresh.get("cases", {}).get(name)
+        if b is None or f is None:
+            cells = ["n/a" if b is None else f"{b['records_per_s']:,.0f}",
+                     "n/a" if f is None else f"{f['records_per_s']:,.0f}",
+                     "n/a",
+                     "n/a" if b is None else f"{b['events_per_s']:,.0f}",
+                     "n/a" if f is None else f"{f['events_per_s']:,.0f}"]
+        else:
+            b_rec, f_rec = b["records_per_s"], f["records_per_s"]
+            delta = (f_rec - b_rec) / b_rec * 100 if b_rec else 0.0
+            cells = [f"{b_rec:,.0f}", f"{f_rec:,.0f}", f"{delta:+.1f}%",
+                     f"{b['events_per_s']:,.0f}",
+                     f"{f['events_per_s']:,.0f}"]
+        lines.append("| " + " | ".join([name] + cells) + " |")
+    notes = []
+    if base.get("smoke") != fresh.get("smoke"):
+        notes.append("payloads mix smoke and full-size traces — absolute "
+                     "numbers are not comparable")
+    if base.get("fingerprint") != fresh.get("fingerprint"):
+        notes.append(f"code fingerprint changed "
+                     f"({base.get('fingerprint')} → "
+                     f"{fresh.get('fingerprint')})")
+    if base.get("python") != fresh.get("python"):
+        notes.append(f"python changed ({base.get('python')} → "
+                     f"{fresh.get('python')})")
+    text = "\n".join(lines)
+    if notes:
+        text += "\n\n" + "\n".join(f"> note: {n}" for n in notes)
+    return text
+
+
 def format_payload(payload: Dict) -> str:
     """Human-readable table of one suite payload."""
     from ..analysis import format_table

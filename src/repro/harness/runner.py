@@ -147,8 +147,15 @@ def _as_progress(progress: Union[None, bool, ProgressFn]) -> Optional[ProgressFn
 # Single-point execution
 # ----------------------------------------------------------------------
 def run(spec: ExperimentSpec, store=USE_DEFAULT_STORE,
-        force: bool = False) -> SimResult:
-    """Result for one point: memo -> store -> simulate (and persist)."""
+        force: bool = False, obs=None) -> SimResult:
+    """Result for one point: memo -> store -> simulate (and persist).
+
+    An enabled ``obs`` (:class:`~repro.obs.ObsConfig`) forces a fresh
+    simulation: trace and metrics artifacts only exist when the simulator
+    actually runs, so cache hits would silently produce nothing.
+    """
+    if obs is not None and obs.enabled:
+        force = True
     if not force and spec in _MEMO:
         session_stats.points += 1
         session_stats.memo_hits += 1
@@ -161,7 +168,7 @@ def run(spec: ExperimentSpec, store=USE_DEFAULT_STORE,
             _MEMO[spec] = cached
             session_stats.store_hits += 1
             return cached
-    result = spec.execute()
+    result = spec.execute(obs=obs)
     session_stats.simulated += 1
     _MEMO[spec] = result
     if resolved is not None:

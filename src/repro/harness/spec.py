@@ -148,13 +148,24 @@ class ExperimentSpec:
                                       suite=self.suite)
         return [t.records for t in traces]
 
-    def execute(self) -> SimResult:
-        """Run the simulation for this point (no caching — see the runner)."""
+    def execute(self, obs: Optional[object] = None) -> SimResult:
+        """Run the simulation for this point (no caching — see the runner).
+
+        ``obs`` is an optional :class:`~repro.obs.ObsConfig`; when omitted
+        it is resolved from ``REPRO_METRICS_INTERVAL`` / ``REPRO_TRACE`` /
+        ``REPRO_OBS_DIR`` so pool workers inherit observability settings
+        through the environment, mirroring ``REPRO_SANITIZE``.
+        """
         from ..sim.system import System
+        if obs is None:
+            from ..obs.schema import obs_from_env
+            obs = obs_from_env()
+        if obs is not None and obs.enabled and obs.tag == "run":
+            obs = obs.with_tag(self.label())
         traces = self.build_traces()
         n = min(len(t) for t in traces)
         system = System(self.build_config(), traces, llc_policy=self.policy,
                         prefetch=self.prefetch, seed=self.seed,
                         measure_records=n // 2, warmup_records=n // 2,
-                        collect_deltas=self.collect_deltas)
+                        collect_deltas=self.collect_deltas, obs=obs)
         return system.run()

@@ -127,6 +127,23 @@ class ResultStore:
     def entries(self) -> Iterator[Path]:
         yield from self.namespace.glob("*/*.json")
 
+    def load_entries(self) -> Iterator[tuple]:
+        """Yield ``(ExperimentSpec, SimResult)`` for every readable entry.
+
+        Deterministic order (sorted paths); unreadable or foreign files
+        are skipped, mirroring :meth:`get`.  This is the report
+        generator's input.
+        """
+        for path in sorted(self.entries()):
+            try:
+                payload = json.loads(path.read_text())
+                spec = ExperimentSpec.from_dict(payload["spec"])
+                result = SimResult.from_dict(payload["result"])
+            except (OSError, KeyError, TypeError, ValueError,
+                    json.JSONDecodeError):
+                continue
+            yield spec, result
+
     def __len__(self) -> int:
         return sum(1 for _ in self.entries())
 

@@ -169,6 +169,7 @@ class Cache:
         "inclusive", "upper_levels", "instr_counter", "stats", "_set_mask",
         "_set_bits", "_latency", "_ways", "_sets", "_tag2way", "_valid_count",
         "_dup_tags", "mshr", "_pending", "_fill_cb", "_lookup_cb", "_post",
+        "tracer",
     )
 
     def __init__(self, cfg: CacheConfig, engine: Engine,
@@ -217,6 +218,10 @@ class Cache:
         self._fill_cb = self._fill_from_child
         self._lookup_cb = self._lookup
         self._post = engine.post
+        #: optional :class:`repro.obs.tracer.ChromeTracer`; every hook
+        #: below guards on ``req.trace`` (False unless the tracer sampled
+        #: the request), keeping the untraced hot path to one slot read.
+        self.tracer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -301,6 +306,8 @@ class Cache:
         self.stats.accesses[req.rtype] += 1
         if self.monitor is not None:
             self.monitor.on_access(req.core, now, req.is_demand)
+        if req.trace and self.tracer is not None:
+            self.tracer.span_begin(req, self.name, now)
         # Inlined Engine.post — this is the single most frequent scheduling
         # site in the simulator (one event per access per level); identical
         # heap tuple and sequence numbering, measured in DESIGN.md §9.
@@ -353,6 +360,8 @@ class Cache:
             blk.prefetch = False      # block has now been demanded
             if rtype == AccessType.RFO:
                 blk.dirty = True
+        if req.trace and self.tracer is not None:
+            self.tracer.span_end(req, self.name, now, hit=True)
         # Inlined MemRequest.respond
         req.completed = now
         req.served_by = self.name
@@ -372,10 +381,18 @@ class Cache:
             self.stats.mshr_merges += 1
             if was_prefetch_only and not entry.prefetch_only:
                 self.stats.prefetch_promoted += 1
+            if req.trace and self.tracer is not None:
+                self.tracer.instant("mshr-merge", self.name,
+                                    self.engine.now, req.core,
+                                    block=hex(block))
             return
         if len(entries) >= mshr.capacity:
             self.stats.mshr_stalls += 1
             self._pending.append(req)
+            if req.trace and self.tracer is not None:
+                self.tracer.instant("mshr-stall", self.name,
+                                    self.engine.now, req.core,
+                                    block=hex(block))
             return
         self._start_miss(req)
 
@@ -402,6 +419,8 @@ class Cache:
         child = MemRequest(req.addr, req.pc, core, req.rtype,
                            created=now, callback=self._fill_cb)
         child.mshr_entry = entry
+        if req.trace:
+            child.trace = True      # keep the lifecycle visible downstream
         self.lower.access(child)
 
     # ------------------------------------------------------------------
@@ -415,12 +434,20 @@ class Cache:
             self.monitor.on_miss_end(entry.core, now, entry)
         self._install(entry.primary, dirty=entry.rfo, entry=entry)
         served = child.served_by or (self.lower.name if self.lower else "")
+        tracer = self.tracer
+        if child.trace and tracer is not None:
+            tracer.instant("fill", self.name, now, child.core,
+                           block=hex(child.block), waiters=len(entry.waiters))
         # Inlined MemRequest.respond for each waiter (the per-request
-        # overhead is measurable at this call count).
+        # overhead is measurable at this call count).  Traced waiters
+        # close their span at this level before the callback propagates
+        # the fill upward, so spans nest DRAM -> LLC -> L2 -> L1 -> core.
         for waiter in entry.waiters:
             waiter.completed = now
             if served:
                 waiter.served_by = served
+            if waiter.trace and tracer is not None:
+                tracer.span_end(waiter, self.name, now, hit=False)
             cb = waiter.callback
             if cb is not None:
                 cb(waiter, now)
@@ -472,6 +499,10 @@ class Cache:
                     # An upper-level dirty copy is newer than ours: its
                     # data must reach memory with the eviction.
                     victim_dirty |= upper.invalidate(victim_addr)
+            if req.trace and self.tracer is not None:
+                self.tracer.instant("evict", self.name, self.engine.now,
+                                    req.core, victim=hex(victim.tag),
+                                    dirty=victim_dirty)
             if victim_dirty:
                 self._writeback(set_idx, victim)
             if self._dup_tags:
@@ -524,6 +555,9 @@ class Cache:
             if (block >> self._set_bits) in self._tag2way[set_idx]:
                 # Another miss to the same block filled while we waited.
                 self.stats.late_hits += 1
+                if req.trace and self.tracer is not None:
+                    self.tracer.span_end(req, self.name, self.engine.now,
+                                         hit=True, late=True)
                 req.respond(self.engine.now, served_by=self.name)
                 continue
             entry = entries.get(block)

@@ -28,7 +28,8 @@ from __future__ import annotations
 
 from collections import deque
 from math import ceil
-from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Sequence
+from typing import (TYPE_CHECKING, Any, Callable, Deque, List, Optional,
+                    Sequence)
 
 from .config import CoreConfig
 from .engine import Engine
@@ -58,7 +59,7 @@ class Core:
         "_idx", "_rob", "_prev_entry", "_rob_occ", "_front_time", "_stopped",
         "dispatched_instructions", "dispatched_records", "retired_records",
         "retired_instructions", "warm", "measure_start_time", "finished",
-        "finish_time", "_complete_callback",
+        "finish_time", "_complete_callback", "tracer", "_trace_tid",
     )
 
     def __init__(self, core_id: int, engine: Engine, l1: "Cache",
@@ -106,6 +107,11 @@ class Core:
         # (the request carries its ROB entry) instead of a closure per
         # dispatched record.
         self._complete_callback = self._complete_cb
+
+        # Optional event tracer (repro.obs): the core is where a request
+        # lifecycle is sampled; ``None`` keeps dispatch untraced.
+        self.tracer: Optional[Any] = None
+        self._trace_tid = f"core{core_id}"
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -157,6 +163,8 @@ class Core:
         measure_end = warmup + self.measure_records
         rfo = AccessType.RFO
         load = AccessType.LOAD
+        tracer = self.tracer
+        trace_tid = self._trace_tid
         idx = self._idx
         rob_occ = self._rob_occ
         front_time = self._front_time
@@ -191,6 +199,9 @@ class Core:
                                  rfo if rec.is_write else load,
                                  issue_cycle, callback)
                 req.rob_entry = entry
+                if tracer is not None and tracer.take():
+                    req.trace = True
+                    tracer.span_begin(req, trace_tid, issue_cycle)
                 prev = self._prev_entry
                 self._prev_entry = entry
                 if rec.dep and prev is not None and not prev.done:
@@ -210,6 +221,8 @@ class Core:
             self.dispatched_records = dispatched
 
     def _complete_cb(self, req: MemRequest, _time: int) -> None:
+        if req.trace and self.tracer is not None:
+            self.tracer.span_end(req, self._trace_tid, self.engine.now)
         self._complete(req.rob_entry)
 
     def _complete(self, entry: _RobEntry) -> None:

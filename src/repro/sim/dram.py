@@ -13,7 +13,7 @@ consume bank and bus time but generate no response.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Any, List, Optional, Tuple
 
 from .config import DRAMConfig
 from .engine import Engine
@@ -62,7 +62,7 @@ class _Bank:
 class DRAM:
     """Memory-side terminator of the hierarchy (``lower`` of the LLC)."""
 
-    __slots__ = ("cfg", "engine", "stats", "_banks", "_bus_free")
+    __slots__ = ("cfg", "engine", "stats", "_banks", "_bus_free", "tracer")
 
     name = "DRAM"
 
@@ -70,6 +70,7 @@ class DRAM:
         self.cfg = cfg
         self.engine = engine
         self.stats = DRAMStats()
+        self.tracer: Optional[Any] = None   # optional repro.obs ChromeTracer
         self._banks: List[List[_Bank]] = [
             [_Bank() for _ in range(cfg.banks_per_channel)]
             for _ in range(cfg.channels)
@@ -113,6 +114,12 @@ class DRAM:
             return
         self.stats.reads += 1
         self.stats.total_read_latency += done - now
+        if req.trace and self.tracer is not None:
+            # The full bank+bus occupancy is known synchronously, so the
+            # DRAM span is emitted as a complete event right away.
+            self.tracer.complete(req, self.name, now, done - now,
+                                 channel=channel, bank=bank_idx,
+                                 row_hit=array_latency == cfg.t_cas)
         # ``done > now`` always (positive array/burst latencies): safe for
         # the unchecked fast-path scheduler.
         self.engine.post(done, req.respond, done, self.name)

@@ -24,7 +24,7 @@ class Engine:
     """Deterministic discrete-event engine with integer-cycle time."""
 
     __slots__ = ("now", "_heap", "_seq", "_stopped", "events_processed",
-                 "watcher", "watch_interval")
+                 "watcher", "watch_interval", "_watchers")
 
     def __init__(self) -> None:
         self.now: int = 0
@@ -32,13 +32,79 @@ class Engine:
         self._seq: int = 0
         self._stopped: bool = False
         self.events_processed: int = 0
-        #: Observation hook for the sanitizer: when set, :meth:`run` calls
-        #: ``watcher()`` every ``watch_interval`` processed events.  The
-        #: watcher must only *read* simulator state (never schedule or
-        #: mutate), so watched runs stay byte-identical.  ``None`` (the
-        #: default) keeps the zero-overhead fast loop.
+        #: Observation hook: when set, :meth:`run` calls ``watcher()``
+        #: every ``watch_interval`` processed events.  A watcher must only
+        #: *read* simulator state (never schedule or mutate), so watched
+        #: runs stay byte-identical.  ``None`` (the default) keeps the
+        #: zero-overhead fast loop.  Prefer :meth:`add_watcher` /
+        #: :meth:`remove_watcher`, which multiplex several observers
+        #: (sanitizer + metrics sampler) onto this one slot.
         self.watcher: Optional[Callable[[], None]] = None
         self.watch_interval: int = 4096
+        #: registered observers: ``[fn, interval, countdown]`` per entry
+        self._watchers: List[List[Any]] = []
+
+    # ------------------------------------------------------------------
+    # Observer registration
+    # ------------------------------------------------------------------
+    @property
+    def watchers(self) -> Tuple[Callable[[], None], ...]:
+        """The registered observer callables (read-only view)."""
+        if self._watchers:
+            return tuple(entry[0] for entry in self._watchers)
+        return (self.watcher,) if self.watcher is not None else ()
+
+    def add_watcher(self, fn: Callable[[], None], interval: int) -> None:
+        """Register ``fn`` to be called every ``interval`` processed events.
+
+        Multiple watchers share the single ``watcher`` slot through a
+        trampoline ticking at the smallest registered interval; with one
+        watcher the slot is wired directly, so the single-observer case
+        (the sanitizer alone, or the sampler alone) pays no extra call.
+        """
+        if interval < 1:
+            raise EngineError(f"watch interval must be >= 1, got {interval}")
+        if self.watcher is not None and not self._watchers:
+            raise EngineError(
+                "engine.watcher was assigned directly; use add_watcher for "
+                "composable observers")
+        # ``==`` not ``is``: bound methods are recreated per attribute
+        # access but compare equal for the same instance + function.
+        if any(entry[0] == fn for entry in self._watchers):
+            raise EngineError("watcher already registered")
+        self._watchers.append([fn, interval, interval])
+        self._rewire_watchers()
+
+    def remove_watcher(self, fn: Callable[[], None]) -> None:
+        """Unregister ``fn`` (no-op if it is not registered)."""
+        kept = [entry for entry in self._watchers if entry[0] != fn]
+        if len(kept) == len(self._watchers):
+            return
+        self._watchers = kept
+        self._rewire_watchers()
+
+    def _rewire_watchers(self) -> None:
+        entries = self._watchers
+        if not entries:
+            self.watcher = None
+        elif len(entries) == 1:
+            self.watcher = entries[0][0]
+            self.watch_interval = entries[0][1]
+        else:
+            base = min(entry[1] for entry in entries)
+            for entry in entries:
+                entry[2] = entry[1]
+            self.watcher = self._fire_watchers
+            self.watch_interval = base
+
+    def _fire_watchers(self) -> None:
+        """Trampoline for multiple observers: each keeps its own cadence."""
+        base = self.watch_interval
+        for entry in self._watchers:
+            entry[2] -= base
+            if entry[2] <= 0:
+                entry[2] = entry[1]
+                entry[0]()
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -19,7 +19,7 @@ Select it with ``DRAMConfig(scheduler="frfcfs")``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from .config import DRAMConfig
 from .dram import DRAMStats, _Bank
@@ -64,7 +64,8 @@ class FRFCFSController:
     """Drop-in replacement for :class:`~repro.sim.dram.DRAM`."""
 
     __slots__ = ("cfg", "engine", "read_queue", "write_queue",
-                 "drain_high_mark", "drain_low_mark", "stats", "_channels")
+                 "drain_high_mark", "drain_low_mark", "stats", "_channels",
+                 "tracer")
 
     name = "DRAM"
 
@@ -80,6 +81,7 @@ class FRFCFSController:
         self.drain_high_mark = max(1, int(drain_high * write_queue))
         self.drain_low_mark = int(drain_low * write_queue)
         self.stats = ControllerStats()
+        self.tracer: Optional[Any] = None   # optional repro.obs ChromeTracer
         self._channels = [
             _Channel(cfg.banks_per_channel) for _ in range(cfg.channels)
         ]
@@ -195,6 +197,11 @@ class FRFCFSController:
         else:
             self.stats.reads += 1
             self.stats.total_read_latency += done - entry.arrival
+            if entry.req.trace and self.tracer is not None:
+                # Span covers queueing plus service: arrival to data-out.
+                self.tracer.complete(entry.req, self.name, entry.arrival,
+                                     done - entry.arrival,
+                                     channel=ch_idx, bank=entry.bank)
             entry.req.respond(done, self.name)
         self._issue(ch_idx)
 

@@ -56,7 +56,7 @@ class MemRequest:
     __slots__ = (
         "addr", "pc", "core", "rtype", "created", "callback", "req_id",
         "completed", "served_by", "block", "is_demand",
-        "mshr_entry", "rob_entry",
+        "mshr_entry", "rob_entry", "trace",
     )
 
     def __init__(self, addr: int, pc: int, core: int, rtype: AccessType,
@@ -86,6 +86,9 @@ class MemRequest:
         # requests; typed Any to avoid import cycles on the hot path.
         self.mshr_entry: Optional[Any] = None
         self.rob_entry: Optional[Any] = None
+        # True when the event tracer sampled this request's lifecycle;
+        # propagated to child requests so spans nest across levels.
+        self.trace = False
 
     @property
     def is_prefetch(self) -> bool:

@@ -13,7 +13,8 @@ paper's experimental control.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Union
+from typing import (TYPE_CHECKING, Any, Callable, List, Optional, Sequence,
+                    Union)
 
 from .cache import Cache
 from .config import SystemConfig
@@ -23,6 +24,9 @@ from .stats import SimResult
 from ..core.pmc import ConcurrencyMonitor
 from ..policies.lru import LRUPolicy
 from ..prefetch import IPStridePrefetcher, NextLinePrefetcher
+
+if TYPE_CHECKING:
+    from ..obs.schema import ObsConfig
 
 PolicyFactory = Callable[..., object]
 
@@ -37,7 +41,7 @@ class System:
     __slots__ = ("cfg", "prefetch", "max_events", "engine", "dram",
                  "llc_policy", "monitor", "llc", "l1s", "l2s", "cores",
                  "_finished", "_warm", "warmup_records", "sanitize",
-                 "sanitizer")
+                 "sanitizer", "obs", "sampler", "tracer")
 
     def __init__(self, cfg: SystemConfig, traces: Sequence[Sequence],
                  llc_policy: Union[str, PolicyFactory] = "lru",
@@ -47,7 +51,8 @@ class System:
                  warmup_records: Optional[int] = None,
                  collect_deltas: bool = False,
                  max_events: Optional[int] = None,
-                 sanitize: Optional[bool] = None) -> None:
+                 sanitize: Optional[bool] = None,
+                 obs: Optional["ObsConfig"] = None) -> None:
         if len(traces) != cfg.n_cores:
             raise ValueError(
                 f"{cfg.n_cores} cores but {len(traces)} traces supplied")
@@ -57,7 +62,12 @@ class System:
         #: tri-state: True/False force the runtime sanitizer on/off; None
         #: defers to ``REPRO_SANITIZE`` (read lazily at :meth:`run`)
         self.sanitize = sanitize
-        self.sanitizer = None
+        self.sanitizer: Optional[Any] = None
+        #: optional :class:`~repro.obs.ObsConfig`; observers attach in
+        #: :meth:`run` so construction stays cheap when unused
+        self.obs = obs
+        self.sampler: Optional[Any] = None
+        self.tracer: Optional[Any] = None
         self.engine = Engine()
 
         # Memory side ------------------------------------------------------
@@ -152,6 +162,28 @@ class System:
         from ..checks.sanitize import sanitize_enabled
         return sanitize_enabled()
 
+    def _attach_obs(self) -> None:
+        """Install the metrics sampler and/or event tracer per ``self.obs``.
+
+        Observers read simulator state between events and never mutate it,
+        so results stay byte-identical with or without them.
+        """
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            return
+        if obs.metrics_interval > 0:
+            from ..obs.sampler import MetricsSampler
+            self.sampler = MetricsSampler(self, obs.metrics_interval)
+            self.sampler.install()
+        if obs.trace:
+            from ..obs.tracer import ChromeTracer
+            self.tracer = tracer = ChromeTracer(
+                sample_rate=obs.trace_sample, limit=obs.trace_limit)
+            for sink in [self.llc, self.dram] + self.l1s + self.l2s:
+                sink.tracer = tracer
+            for core in self.cores:
+                core.tracer = tracer
+
     def run(self) -> SimResult:
         """Run to completion of every core's measured region.
 
@@ -166,6 +198,7 @@ class System:
         if self._sanitize_enabled():
             from ..checks.sanitize import attach_sanitizer
             self.sanitizer = sanitizer = attach_sanitizer(self)
+        self._attach_obs()
         for core in self.cores:
             core.start()
         try:
@@ -177,12 +210,20 @@ class System:
                     f"(events={self.engine.events_processed}); raise "
                     "max_events or check for starvation")
             self.monitor.finalize()
+            if self.sampler is not None:
+                self.sampler.finalize()
             if sanitizer is not None:
                 sanitizer.check()
         finally:
             if sanitizer is not None:
                 sanitizer.uninstall()
-        return self._result()
+            if self.sampler is not None:
+                self.sampler.uninstall()
+        result = self._result()
+        if self.obs is not None and self.obs.out_dir is not None:
+            from ..obs.schema import write_outputs
+            write_outputs(self.obs, self.sampler, self.tracer)
+        return result
 
     def _result(self) -> SimResult:
         policy_name = getattr(self.llc_policy, "name", type(self.llc_policy).__name__)
@@ -210,12 +251,13 @@ def simulate(traces: Sequence[Sequence], cfg: Optional[SystemConfig] = None,
              prefetch: bool = False, seed: int = 0,
              measure_records: Optional[int] = None,
              warmup_records: Optional[int] = None,
-             collect_deltas: bool = False) -> SimResult:
+             collect_deltas: bool = False,
+             obs: Optional["ObsConfig"] = None) -> SimResult:
     """One-call convenience wrapper: build a :class:`System` and run it."""
     if cfg is None:
         cfg = SystemConfig.default(n_cores=len(traces))
     system = System(cfg, traces, llc_policy=llc_policy, prefetch=prefetch,
                     seed=seed, measure_records=measure_records,
                     warmup_records=warmup_records,
-                    collect_deltas=collect_deltas)
+                    collect_deltas=collect_deltas, obs=obs)
     return system.run()

@@ -1,0 +1,115 @@
+"""Engine watcher-mux tests.
+
+``Engine.add_watcher``/``remove_watcher`` let several observers (runtime
+sanitizer, metrics sampler) share the single ``watcher`` slot: one
+registrant is wired directly (the historical zero-overhead path), two or
+more go through a countdown trampoline firing at the GCD-free base of
+``min(intervals)``.
+"""
+
+import pytest
+
+from repro.sim.engine import Engine, EngineError
+
+
+def _noop():
+    pass
+
+
+def _run_events(engine, count):
+    for t in range(1, count + 1):
+        engine.at(t, _noop)
+    engine.run()
+
+
+def test_single_watcher_uses_direct_slot():
+    engine = Engine()
+    fired = []
+
+    def watch():
+        fired.append(engine.events_processed)
+
+    engine.add_watcher(watch, 4)
+    assert engine.watcher is watch          # no trampoline for one watcher
+    assert engine.watch_interval == 4
+    assert engine.watchers == (watch,)
+    _run_events(engine, 10)
+    assert fired == [4, 8]
+    engine.remove_watcher(watch)
+    assert engine.watcher is None
+    assert engine.watchers == ()
+
+
+def test_two_watchers_fire_at_their_own_cadence():
+    engine = Engine()
+    fired = {"fast": 0, "slow": 0}
+
+    def fast():
+        fired["fast"] += 1
+
+    def slow():
+        fired["slow"] += 1
+
+    engine.add_watcher(fast, 2)
+    engine.add_watcher(slow, 3)
+    assert set(engine.watchers) == {fast, slow}
+    _run_events(engine, 12)
+    # The trampoline polls every min(2, 3) = 2 events; the slow watcher's
+    # countdown trips on every other poll (effective cadence 4).
+    assert fired["fast"] == 6
+    assert fired["slow"] == 3
+
+
+def test_remove_watcher_rewires_to_direct_slot():
+    engine = Engine()
+    calls = []
+    a = calls.append
+
+    def other():
+        calls.append("other")
+
+    engine.add_watcher(other, 2)
+    engine.add_watcher(lambda: a("x"), 5)
+    assert engine.watcher is not other      # trampoline active
+    engine.remove_watcher(engine.watchers[1])
+    assert engine.watcher is other          # back to the direct slot
+    assert engine.watch_interval == 2
+
+
+def test_duplicate_registration_refused():
+    engine = Engine()
+    engine.add_watcher(_noop, 2)
+    with pytest.raises(EngineError):
+        engine.add_watcher(_noop, 4)
+
+
+def test_direct_assignment_blocks_add_watcher():
+    engine = Engine()
+    engine.watcher = _noop                  # legacy direct wiring
+    with pytest.raises(EngineError):
+        engine.add_watcher(lambda: None, 2)
+
+
+def test_bound_method_identity_survives_reaccess():
+    """``self.method`` makes a fresh object per access; the registry must
+    match by equality, or uninstalls would silently leak watchers."""
+
+    class Observer:
+        def __init__(self):
+            self.count = 0
+
+        def check(self):
+            self.count += 1
+
+    engine = Engine()
+    obs = Observer()
+    engine.add_watcher(obs.check, 3)
+    engine.remove_watcher(obs.check)        # a *different* bound object
+    assert engine.watchers == ()
+    assert engine.watcher is None
+
+
+def test_interval_must_be_positive():
+    engine = Engine()
+    with pytest.raises(EngineError):
+        engine.add_watcher(_noop, 0)

@@ -47,6 +47,24 @@ def test_result_is_bit_identical_to_golden_fixture(path):
             f"'PYTHONPATH=src python tests/golden/regenerate.py'\n{diff}")
 
 
+@pytest.mark.parametrize("path", FIXTURES, ids=[p.stem for p in FIXTURES])
+def test_result_is_bit_identical_with_observers_attached(path):
+    """Tracing + metrics sampling must never perturb simulation results.
+
+    Every golden fixture re-runs with the event tracer and the interval
+    metrics sampler both enabled; the result must stay byte-identical to
+    the fixture produced without observers.
+    """
+    from repro.obs import ObsConfig
+
+    stored = json.loads(path.read_text())
+    spec = ExperimentSpec.from_dict(stored["spec"])
+    obs = ObsConfig(metrics_interval=2_000, trace=True, trace_sample=1)
+    result = spec.execute(obs=obs)
+    assert _canonical(result.to_dict()) == _canonical(stored["result"]), (
+        f"observers perturbed the simulation for {path.name}")
+
+
 def test_fixture_coverage():
     """The suite must keep covering the key configuration axes."""
     assert len(FIXTURES) >= 6

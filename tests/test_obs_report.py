@@ -1,0 +1,136 @@
+"""Report-generator and CLI tests: store -> speedup tables -> md/json.
+
+Uses the tiny preset with small record counts so each point simulates in
+well under a second; the store is a tmp dir so nothing leaks between
+tests (memo cleared explicitly, since specs are content-addressed).
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.harness import runner
+from repro.harness.spec import ExperimentSpec
+from repro.harness.store import ResultStore
+from repro.obs.report import build_report, generate
+
+
+@pytest.fixture
+def populated_store(tmp_path):
+    runner.clear_memo()
+    store = ResultStore(tmp_path / "store")
+    for workload in ("429.mcf", "470.lbm"):
+        for policy in ("lru", "care"):
+            spec = ExperimentSpec.multicopy(
+                workload, policy, n_cores=1, prefetch=False,
+                n_records=300, seed=3, preset="tiny")
+            runner.run(spec, store=store)
+    yield store
+    runner.clear_memo()
+
+
+def test_baseline_speedup_is_exactly_one(populated_store):
+    report = json.loads(generate(populated_store, fmt="json"))
+    assert report["baseline"] == "lru"
+    assert report["n_results"] == 4
+    assert len(report["sections"]) == 1
+    section = report["sections"][0]
+    assert section["policies"][0] == "lru"      # baseline sorts first
+    assert {row["workload"] for row in section["workloads"]} == {
+        "429.mcf", "470.lbm"}
+    for row in section["workloads"]:
+        assert row["per_policy"]["lru"]["speedup"] == 1.0
+        assert row["per_policy"]["lru"]["mpki_delta"] == 0.0
+        assert row["per_policy"]["care"]["speedup"] is not None
+    assert section["geomean_speedup"]["lru"] == pytest.approx(1.0)
+
+
+def test_markdown_has_the_headline_tables(populated_store):
+    text = generate(populated_store, fmt="md")
+    assert "# repro-care run report" in text
+    assert "### Speedup over lru (sum-IPC ratio)" in text
+    assert "### MPKI (delta vs. lru)" in text
+    assert "### PMC breakdown" in text
+    assert "| 429.mcf |" in text
+    assert "**geomean**" in text
+
+
+def test_policy_filter_and_alternate_baseline(populated_store):
+    report = json.loads(generate(populated_store, fmt="json",
+                                 baseline="care", policies=["care"]))
+    section = report["sections"][0]
+    assert section["policies"] == ["care"]
+    for row in section["workloads"]:
+        assert set(row["per_policy"]) == {"care"}
+        assert row["per_policy"]["care"]["speedup"] == 1.0
+
+
+def test_empty_store_renders_a_hint(tmp_path):
+    text = generate(ResultStore(tmp_path / "empty"), fmt="md")
+    assert "result store is empty" in text
+
+
+def test_unknown_format_raises(populated_store):
+    with pytest.raises(ValueError):
+        generate(populated_store, fmt="html")
+
+
+def test_build_report_handles_missing_baseline():
+    """Points without an LRU counterpart get None speedups, not crashes."""
+    runner.clear_memo()
+    spec = ExperimentSpec.multicopy("429.mcf", "care", n_cores=1,
+                                    prefetch=False, n_records=300, seed=3,
+                                    preset="tiny")
+    result = spec.execute()
+    report = build_report([(spec, result)])
+    cell = report["sections"][0]["workloads"][0]["per_policy"]["care"]
+    assert cell["speedup"] is None
+    assert report["sections"][0]["geomean_speedup"]["care"] is None
+
+
+def test_report_cli_writes_markdown_and_json(populated_store, tmp_path,
+                                             capsys):
+    rc = main(["report", "--store", str(populated_store.root),
+               "--format", "json"])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["n_results"] == 4
+
+    out = tmp_path / "report.md"
+    rc = main(["report", "--store", str(populated_store.root),
+               "--format", "md", "--out", str(out)])
+    assert rc == 0
+    assert "### Speedup over lru" in out.read_text()
+
+
+def _perf_payload(rec_s, ev_s, smoke=False, fingerprint="aaaa"):
+    return {
+        "schema": 1, "python": "3.11.7", "smoke": smoke,
+        "fingerprint": fingerprint,
+        "cases": {"4core": {"records_per_s": rec_s, "events_per_s": ev_s,
+                            "records": 1, "events": 1, "repeat": 1,
+                            "best_wall_s": 1.0, "wall_s": [1.0],
+                            "spec": {}}},
+    }
+
+
+def test_perf_diff_cli(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    base.write_text(json.dumps(_perf_payload(1000.0, 50000.0)))
+    fresh.write_text(json.dumps(_perf_payload(1250.0, 60000.0, smoke=True,
+                                              fingerprint="bbbb")))
+    rc = main(["perf", "--diff", str(base), str(fresh)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "| 4core | 1,000 | 1,250 | +25.0% |" in out
+    assert "smoke" in out                   # mismatch note
+    assert "fingerprint changed" in out
+
+
+def test_perf_diff_cli_missing_file(tmp_path, capsys):
+    rc = main(["perf", "--diff", str(tmp_path / "no.json"),
+               str(tmp_path / "pe.json")])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
