@@ -10,6 +10,7 @@ Commands
 ``sweep``      run a named figure sweep through the parallel runner
 ``perf``       simulation-kernel throughput microbenchmarks (BENCH_perf.json)
 ``report``     render a stored run/sweep as a markdown or JSON report
+``store``      inspect / repair the persistent result store (``fsck``)
 ``check``      SimSan static lint over the tree (see repro.checks.lint)
 
 ``run`` and ``sweep`` accept observability flags (``--metrics-interval``,
@@ -20,11 +21,22 @@ freshly simulated point; artifacts land under ``--obs-dir``.
 store (``~/.cache/repro-care/results`` or ``$REPRO_RESULT_STORE``), so
 repeated invocations reuse earlier simulations; ``--workers`` /
 ``$REPRO_WORKERS`` fan fresh points out over a process pool.
+
+Sweeps run *supervised* (``repro.harness.supervise``): a failing point
+is retried with backoff, hung or crashed workers are killed and
+re-queued, and permanent failures are collected into a failure table
+while every healthy point finishes (``--fail-fast`` aborts instead).
+``--manifest`` checkpoints campaign status so ``--resume`` picks up
+where an interrupted or partially failed sweep left off.
+
+Exit codes: 0 success; 2 usage error; 3 sweep finished but some points
+failed permanently; 130 interrupted (manifest flushed when enabled).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List
 
@@ -104,11 +116,84 @@ def _enable_obs(args) -> bool:
     return enabled
 
 
+def _supervision_from_args(args, tag: str):
+    """Build the ``supervised_sweep`` context from CLI flags.
+
+    Raises ValueError for bad flag values (callers map that to the
+    usage exit code 2).  Returns ``(context, incidents)``.
+    """
+    import os
+
+    from .harness.supervise import (DEFAULT_MANIFEST, RetryPolicy,
+                                    SweepManifest, supervised_sweep)
+    from .obs.incidents import IncidentLog
+
+    if getattr(args, "chaos", None):
+        from .checks.chaos import parse_chaos
+        parse_chaos(args.chaos)  # validate before exporting to workers
+        os.environ["REPRO_CHAOS"] = args.chaos
+    retry = RetryPolicy.from_env()
+    if args.retries is not None:
+        if args.retries < 1:
+            raise ValueError("--retries must be >= 1")
+        retry = RetryPolicy(max_attempts=args.retries,
+                            backoff=retry.backoff,
+                            backoff_cap=retry.backoff_cap,
+                            jitter=retry.jitter)
+    if args.timeout is not None and args.timeout < 0:
+        raise ValueError("--timeout must be >= 0 (0 disables)")
+    manifest = None
+    manifest_path = getattr(args, "manifest", None)
+    resume = getattr(args, "resume", False)
+    if resume and manifest_path is None:
+        manifest_path = DEFAULT_MANIFEST
+    if manifest_path is not None:
+        from pathlib import Path
+        if resume and Path(manifest_path).exists():
+            manifest = SweepManifest.load(manifest_path)
+            requeued = manifest.reset_failures()
+            done = manifest.counts()["done"]
+            print(f"[sweep] resuming {manifest_path}: {done} point(s) "
+                  f"done, {requeued} failed point(s) re-queued",
+                  file=sys.stderr)
+        else:
+            if resume:
+                print(f"[sweep] no manifest at {manifest_path}; starting "
+                      "fresh", file=sys.stderr)
+            manifest = SweepManifest(path=manifest_path, sweep=tag)
+    incidents = IncidentLog(tag=tag)
+    ctx = supervised_sweep(keep_going=not args.fail_fast, retry=retry,
+                           timeout=args.timeout, manifest=manifest,
+                           incidents=incidents)
+    return ctx, incidents
+
+
+def _finish_supervised(sup, incidents, failures, obs_dir) -> int:
+    """Shared epilogue: failure table, incident artifact, exit code."""
+    from .harness.supervise import format_failure_table
+    from .obs.incidents import maybe_write
+
+    path = maybe_write(incidents, obs_dir)
+    if path is not None:
+        print(f"[sweep] {len(incidents)} incident(s) -> {path}",
+              file=sys.stderr)
+    if not failures:
+        return 0
+    print(file=sys.stderr)
+    print(format_failure_table(failures), file=sys.stderr)
+    if sup is not None and sup.manifest is not None:
+        print(f"[sweep] manifest: {sup.manifest.summary()} -> "
+              f"{sup.manifest.path} (re-run with --resume to retry)",
+              file=sys.stderr)
+    return 3
+
+
 def _cmd_run(args) -> int:
     import json
 
     from .analysis import format_table
     from .harness import ExperimentSpec, run_many
+    from .harness.supervise import SweepFailedError, SweepInterrupted
     from .workloads import gap_workload_names
 
     if args.sanitize:
@@ -125,22 +210,38 @@ def _cmd_run(args) -> int:
                      prefetch=args.prefetch, suite=suite,
                      n_records=args.records // 2, seed=args.seed)
                  for policy in args.policies]
+        ctx, incidents = _supervision_from_args(
+            args, tag=f"run-{args.workload}")
     except ValueError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     # Observer artifacts only exist when the simulator actually runs, so
     # enabling them forces fresh simulation past the memo/store caches.
-    results = run_many(specs, workers=args.workers, store=store,
-                       force=obs_on)
+    try:
+        with ctx as sup:
+            try:
+                results = run_many(specs, workers=args.workers, store=store,
+                                   force=obs_on)
+            except SweepFailedError as exc:  # --fail-fast
+                return _finish_supervised(sup, incidents, exc.failures,
+                                          args.obs_dir)
+            failures = list(sup.failures)
+    except SweepInterrupted as exc:
+        print(f"\n[run] interrupted: {exc}", file=sys.stderr)
+        return 130
     if args.json:
         print(json.dumps(
-            [{"spec": spec.to_dict(), "result": res.to_dict()}
+            [{"spec": spec.to_dict(),
+              "result": None if res is None else res.to_dict()}
              for spec, res in zip(specs, results)],
             sort_keys=True, indent=2))
-        return 0
+        return _finish_supervised(sup, incidents, failures, args.obs_dir)
     rows = []
     base = None
     for policy, res in zip(args.policies, results):
+        if res is None:
+            rows.append([policy] + ["-"] * 6)
+            continue
         total = sum(res.ipc)
         if base is None:
             base = total
@@ -153,7 +254,7 @@ def _cmd_run(args) -> int:
     print(format_table(
         ["policy", "sum IPC", "vs first", "MPKI", "pMR", "mean PMC",
          "AOCPA"], rows))
-    return 0
+    return _finish_supervised(sup, incidents, failures, args.obs_dir)
 
 
 def _default_store_arg():
@@ -165,6 +266,7 @@ def _cmd_sweep(args) -> int:
     from .harness.runner import session_stats
     from .harness.scale import scale_override
     from .harness.store import set_default_store
+    from .harness.supervise import SweepFailedError, SweepInterrupted
     from .harness.sweeps import available_sweeps, run_sweep
 
     if args.list or not args.name:
@@ -188,9 +290,26 @@ def _cmd_sweep(args) -> int:
     if args.mixes is not None:
         overrides["mixes"] = args.mixes
     try:
-        with scale_override(**overrides):
-            text = run_sweep(args.name, workers=args.workers,
-                             progress=not args.quiet)
+        ctx, incidents = _supervision_from_args(args,
+                                                tag=f"sweep-{args.name}")
+    except ValueError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        with ctx as sup:
+            try:
+                with scale_override(**overrides):
+                    text = run_sweep(args.name, workers=args.workers,
+                                     progress=not args.quiet)
+            except SweepFailedError as exc:  # --fail-fast
+                return _finish_supervised(sup, incidents, exc.failures,
+                                          args.obs_dir)
+            failures = list(sup.failures)
+    except SweepInterrupted as exc:
+        print(f"\n[sweep] interrupted: {exc}", file=sys.stderr)
+        from .obs.incidents import maybe_write
+        maybe_write(incidents, args.obs_dir)
+        return 130
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -198,7 +317,7 @@ def _cmd_sweep(args) -> int:
     if session_stats.sweeps:
         print(f"\n[sweep] {session_stats.sweeps[-1].summary()}")
     print(f"[sweep] session total: {session_stats.summary()}")
-    return 0
+    return _finish_supervised(sup, incidents, failures, args.obs_dir)
 
 
 def _cmd_perf(args) -> int:
@@ -261,12 +380,51 @@ def _cmd_report(args) -> int:
     except ValueError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    if args.incidents:
+        from .obs.incidents import IncidentLog
+        if args.format != "md":
+            print("error: --incidents requires --format md",
+                  file=sys.stderr)
+            return 2
+        try:
+            log = IncidentLog.load(args.incidents)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read incidents file: {exc}",
+                  file=sys.stderr)
+            return 2
+        text = text.rstrip("\n") + "\n\n" + log.render_markdown()
     if args.out:
         out = Path(args.out)
         out.write_text(text if text.endswith("\n") else text + "\n")
         print(f"[report] wrote {out}", file=sys.stderr)
     else:
         print(text)
+    return 0
+
+
+def _cmd_store(args) -> int:
+    from .harness.store import ResultStore, default_store
+
+    if args.store:
+        store = ResultStore(args.store)
+    else:
+        store = default_store()
+        if store is None:
+            print("error: no result store (set REPRO_RESULT_STORE or pass "
+                  "--store PATH)", file=sys.stderr)
+            return 2
+    if args.store_command == "fsck":
+        report = store.fsck()
+        print(report.summary())
+        for line in report.errors:
+            print(f"  {line}")
+        if report.quarantined:
+            print(f"quarantined entries moved to {store.quarantine_dir}; "
+                  "re-running the sweep re-simulates them")
+        return 1 if (report.quarantined or report.errors) else 0
+    print(f"store root: {store.root}")
+    print(f"namespace:  {store.namespace.name}")
+    print(f"entries:    {len(store)}")
     return 0
 
 
@@ -295,6 +453,38 @@ def _cmd_check(args) -> int:
         return 1
     print("simsan: clean")
     return 0
+
+
+def _add_supervise_args(parser: argparse.ArgumentParser,
+                        with_manifest: bool = False) -> None:
+    """Fault-tolerance flags shared by ``run`` and ``sweep``."""
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort on the first permanent failure "
+                             "(default: finish healthy points, report a "
+                             "failure table, exit 3)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="attempts per point for transient failures "
+                             "(default $REPRO_RETRIES or 3)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-point watchdog timeout in seconds "
+                             "(0 disables; default $REPRO_TIMEOUT or "
+                             "scaled to the point's size)")
+    parser.add_argument("--chaos", default=None,
+                        metavar="PROFILE:SEED[:NUM/DEN]",
+                        help="inject deterministic faults (testing): "
+                             "profiles raise/flaky/hang/kill/corrupt/all, "
+                             "e.g. 'all:7' or 'flaky:3:1/2'; equivalent "
+                             "to REPRO_CHAOS")
+    if with_manifest:
+        parser.add_argument("--manifest", nargs="?",
+                            const="sweep.manifest.json",
+                            default=None, metavar="PATH",
+                            help="checkpoint campaign status to PATH "
+                                 "(default sweep.manifest.json)")
+        parser.add_argument("--resume", action="store_true",
+                            help="resume from the manifest: done points "
+                                 "come from the store, failed points are "
+                                 "re-queued")
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -344,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable the runtime invariant sanitizer "
                           "(REPRO_SANITIZE=1; store-cached points are not "
                           "re-simulated — add --no-store to force checking)")
+    _add_supervise_args(run)
     _add_obs_args(run)
 
     sweep = sub.add_parser(
@@ -368,6 +559,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--sanitize", action="store_true",
                        help="enable the runtime invariant sanitizer for "
                             "every freshly simulated point")
+    _add_supervise_args(sweep, with_manifest=True)
     _add_obs_args(sweep)
 
     perf = sub.add_parser(
@@ -403,6 +595,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default lru)")
     report.add_argument("--policies", nargs="+", default=None,
                         help="restrict the report to these policies")
+    report.add_argument("--incidents", default=None, metavar="FILE",
+                        help="append a supervision-incident section from "
+                             "FILE (<obs-dir>/<tag>.incidents.json; "
+                             "md format only)")
+
+    store = sub.add_parser(
+        "store", help="inspect / repair the persistent result store")
+    store_sub = store.add_subparsers(dest="store_command", required=False)
+    store.add_argument("--store", default=None, metavar="PATH",
+                       help="result-store root (default: the process "
+                            "default store / $REPRO_RESULT_STORE)")
+    fsck = store_sub.add_parser(
+        "fsck", help="validate every entry; quarantine corrupt ones")
+    # SUPPRESS keeps a bare sub-flag default from clobbering a --store
+    # given before the subcommand.
+    fsck.add_argument("--store", default=argparse.SUPPRESS, metavar="PATH",
+                      help="result-store root (default: the process "
+                           "default store / $REPRO_RESULT_STORE)")
 
     check = sub.add_parser(
         "check", help="SimSan static lint (determinism + hot-path rules)")
@@ -426,9 +636,19 @@ def main(argv: List[str] = None) -> int:
         "sweep": _cmd_sweep,
         "perf": _cmd_perf,
         "report": _cmd_report,
+        "store": _cmd_store,
         "check": _cmd_check,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # stdout fed a closed pager/head; exit quietly like other CLIs do
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -17,8 +17,18 @@ optimization work relies on from rotting silently:
   conservation, inclusion).  Enable with ``--sanitize`` or
   ``REPRO_SANITIZE=1``; it observes but never perturbs simulation
   state, so sanitized runs stay byte-identical.
+
+A third half-sibling aims the same fault-injection philosophy at the
+*harness* instead of the simulator:
+
+* :mod:`repro.checks.chaos` — deterministic, seeded fault injectors
+  (worker raise/hang/kill, store corruption) driven by
+  ``REPRO_CHAOS=<profile>:<seed>``, which the supervised sweep runner
+  (``repro.harness.supervise``) must absorb: retries converge, hung
+  workers are killed, corrupt store entries are quarantined, and the
+  resumed campaign reproduces the fault-free result set byte-for-byte.
 """
 
 from __future__ import annotations
 
-__all__ = ["lint", "sanitize"]
+__all__ = ["chaos", "lint", "sanitize"]

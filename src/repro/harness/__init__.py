@@ -5,7 +5,21 @@ from .cachesim import CacheSimResult, simulate_cache
 from .replication import pairwise_verdicts, replicated_speedups
 from .scale import BenchScale, get_scale, scale_override, set_scale
 from .spec import ExperimentSpec
-from .store import ResultStore, code_fingerprint, default_store, set_default_store
+from .store import (FsckReport, ResultStore, code_fingerprint,
+                    default_store, set_default_store)
+from .supervise import (
+    FailedResult,
+    RetryPolicy,
+    SupervisedPool,
+    SweepFailedError,
+    SweepInterrupted,
+    SweepManifest,
+    SweepSupervisor,
+    active_supervisor,
+    compute_timeout,
+    format_failure_table,
+    supervised_sweep,
+)
 from .runner import (
     SweepStats,
     resolve_workers,
@@ -42,7 +56,12 @@ __all__ = [
     "pairwise_verdicts", "replicated_speedups",
     "BenchScale", "get_scale", "set_scale", "scale_override",
     "ExperimentSpec",
-    "ResultStore", "code_fingerprint", "default_store", "set_default_store",
+    "FsckReport", "ResultStore", "code_fingerprint", "default_store",
+    "set_default_store",
+    "FailedResult", "RetryPolicy", "SupervisedPool", "SweepFailedError",
+    "SweepInterrupted", "SweepManifest", "SweepSupervisor",
+    "active_supervisor", "compute_timeout", "format_failure_table",
+    "supervised_sweep",
     "SweepStats", "resolve_workers", "run", "run_many", "session_stats",
     "BENCH_MIXES", "BENCH_RECORDS", "BENCH_WORKLOADS",
     "NOPREFETCH_SCHEMES", "PREFETCH_SCHEMES",

@@ -125,12 +125,16 @@ def speedup_sweep(workloads: Sequence[str], policies: Sequence[str],
                   n_cores: int = 4, prefetch: bool = True,
                   suite: str = "spec", n_records: Optional[int] = None,
                   workers: Optional[int] = None,
-                  progress=None) -> Dict[str, Dict[str, float]]:
+                  progress=None) -> Dict[str, Dict[str, Optional[float]]]:
     """Normalized-IPC table for a figure: rows = workloads (+GEOMEAN).
 
     All (workload, policy) points — including the shared LRU baselines —
     are resolved in one :func:`~repro.harness.runner.run_many` call, so
     sweeps parallelize across ``workers`` and reuse the result store.
+
+    Under a supervised sweep a permanently failed point comes back as
+    ``None``; its table cells (and any geomean it fed) are ``None`` holes
+    rather than aborting the whole figure.
     """
     def point(name: str, policy: str) -> ExperimentSpec:
         return ExperimentSpec.multicopy(name, policy, n_cores=n_cores,
@@ -143,18 +147,23 @@ def speedup_sweep(workloads: Sequence[str], policies: Sequence[str],
     by_spec = dict(zip(specs, run_many(specs, workers=workers,
                                        progress=progress)))
 
-    table: Dict[str, Dict[str, float]] = {}
+    table: Dict[str, Dict[str, Optional[float]]] = {}
     per_policy: Dict[str, List[float]] = {p: [] for p in policies}
     for name in workloads:
         base = by_spec[point(name, "lru")]
-        row = {}
+        row: Dict[str, Optional[float]] = {}
         for policy in policies:
-            value = normalized_ipc(by_spec[point(name, policy)], base)
+            res = by_spec[point(name, policy)]
+            if base is None or res is None:
+                row[policy] = None
+                continue
+            value = normalized_ipc(res, base)
             row[policy] = value
             per_policy[policy].append(value)
         table[name] = row
     table["GEOMEAN"] = {
-        p: geometric_mean(v) for p, v in per_policy.items()
+        p: (geometric_mean(v) if v else None)
+        for p, v in per_policy.items()
     }
     return table
 
@@ -163,9 +172,10 @@ def scaling_sweep(workloads: Sequence[str], policies: Sequence[str],
                   core_counts: Sequence[int] = (4, 8, 16),
                   prefetch: bool = True, suite: str = "spec",
                   n_records: Optional[int] = None,
-                  workers: Optional[int] = None) -> Dict[int, Dict[str, float]]:
+                  workers: Optional[int] = None
+                  ) -> Dict[int, Dict[str, Optional[float]]]:
     """Figs. 11-14: GM speedup per policy at each core count."""
-    out: Dict[int, Dict[str, float]] = {}
+    out: Dict[int, Dict[str, Optional[float]]] = {}
     for cores in core_counts:
         table = speedup_sweep(workloads, policies, n_cores=cores,
                               prefetch=prefetch, suite=suite,

@@ -132,6 +132,12 @@ class ExperimentSpec:
         pf = "pf" if self.prefetch else "nopf"
         return f"{name}/{self.policy}/{self.n_cores}c/{pf}"
 
+    def cost_units(self) -> int:
+        """Rough work estimate (records x cores) — the supervisor scales
+        per-point watchdog deadlines by this, so a 16-core full-length
+        point gets proportionally more wall-clock than a smoke point."""
+        return self.n_cores * self.n_records
+
     # -- execution ------------------------------------------------------
     def build_config(self) -> SystemConfig:
         return CONFIG_PRESETS[self.preset](self.n_cores)

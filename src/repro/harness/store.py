@@ -26,14 +26,18 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import shutil
 import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from ..sim.stats import SimResult
 from .spec import ExperimentSpec
+
+log = logging.getLogger(__name__)
 
 ENV_VAR = "REPRO_RESULT_STORE"
 _DISABLED_VALUES = {"", "0", "off", "none", "disabled"}
@@ -60,6 +64,20 @@ def code_fingerprint() -> str:
     return _fingerprint_cache
 
 
+@dataclass
+class FsckReport:
+    """What ``ResultStore.fsck`` found and did."""
+
+    scanned: int = 0
+    ok: int = 0
+    quarantined: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)   # per-file reasons
+
+    def summary(self) -> str:
+        return (f"fsck: {self.scanned} entr(ies) scanned, {self.ok} ok, "
+                f"{len(self.quarantined)} quarantined")
+
+
 class ResultStore:
     """On-disk result cache shared by benchmarks, examples, and the CLI."""
 
@@ -70,11 +88,16 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
 
     # -- paths ----------------------------------------------------------
     @property
     def namespace(self) -> Path:
         return self.root / self.fingerprint[:16]
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine" / self.fingerprint[:16]
 
     def path_for(self, spec: ExperimentSpec) -> Path:
         key = spec.key()
@@ -85,7 +108,13 @@ class ResultStore:
         return self.path_for(spec).is_file()
 
     def get(self, spec: ExperimentSpec) -> Optional[SimResult]:
-        """The stored result for ``spec``, or ``None`` on a miss."""
+        """The stored result for ``spec``, or ``None`` on a miss.
+
+        A corrupt or truncated entry (torn write, bad disk, chaos) is
+        *quarantined* — moved aside under ``quarantine/`` with a warning
+        — instead of silently shadowing the key forever; the caller sees
+        a miss and a fresh simulation rewrites the entry.
+        """
         path = self.path_for(spec)
         try:
             payload = json.loads(path.read_text())
@@ -93,9 +122,8 @@ class ResultStore:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (KeyError, ValueError, json.JSONDecodeError):
-            # Unreadable/foreign entry: treat as a miss and let a fresh
-            # run overwrite it.
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            self._quarantine(path, reason=f"{type(exc).__name__}: {exc}")
             self.misses += 1
             return None
         self.hits += 1
@@ -121,7 +149,37 @@ class ResultStore:
                 pass
             raise
         self.writes += 1
+        self._maybe_chaos_corrupt(spec, path)
         return path
+
+    def _maybe_chaos_corrupt(self, spec: ExperimentSpec,
+                             path: Path) -> None:
+        """Chaos hook: ``REPRO_CHAOS`` ``corrupt`` truncates selected
+        freshly written entries so the quarantine/fsck path is exercised
+        against real torn files."""
+        from ..checks.chaos import chaos_from_env, corrupt_entry
+        chaos = chaos_from_env()
+        if chaos is not None and corrupt_entry(chaos, spec.key(), path):
+            log.debug("chaos: corrupted store entry %s", path.name)
+
+    def _quarantine(self, path: Path, reason: str = "") -> Optional[Path]:
+        """Move a bad entry into ``quarantine/`` (never raises)."""
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            target = self.quarantine_dir / path.name
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = self.quarantine_dir / f"{path.name}.{suffix}"
+            os.replace(path, target)
+        except OSError as exc:
+            log.warning("could not quarantine corrupt entry %s: %s",
+                        path, exc)
+            return None
+        self.quarantined += 1
+        log.warning("quarantined corrupt store entry %s (%s)",
+                    path.name, reason or "unreadable")
+        return target
 
     # -- maintenance ----------------------------------------------------
     def entries(self) -> Iterator[Path]:
@@ -147,13 +205,49 @@ class ResultStore:
     def __len__(self) -> int:
         return sum(1 for _ in self.entries())
 
+    def fsck(self) -> FsckReport:
+        """Scan the current namespace; quarantine corrupt entries.
+
+        An entry is healthy when it parses as JSON, carries ``spec`` and
+        ``result`` payloads that round-trip through their classes, and
+        sits under the filename matching its spec's content key.
+        Anything else — truncated writes, bit rot, hand-edited or
+        misfiled entries — moves to ``quarantine/`` and is reported, so
+        the next sweep re-simulates those points instead of serving
+        garbage or silently missing forever.
+        """
+        report = FsckReport()
+        for path in sorted(self.entries()):
+            report.scanned += 1
+            reason = None
+            try:
+                payload = json.loads(path.read_text())
+                spec = ExperimentSpec.from_dict(payload["spec"])
+                SimResult.from_dict(payload["result"])
+                if spec.key() != path.stem:
+                    reason = (f"key mismatch: spec hashes to "
+                              f"{spec.key()[:12]}..., filed as "
+                              f"{path.stem[:12]}...")
+            except (OSError, KeyError, TypeError, ValueError,
+                    json.JSONDecodeError) as exc:
+                reason = f"{type(exc).__name__}: {exc}"
+            if reason is None:
+                report.ok += 1
+                continue
+            report.errors.append(f"{path.name}: {reason}")
+            moved = self._quarantine(path, reason=reason)
+            if moved is not None:
+                report.quarantined.append(str(moved))
+        return report
+
     def prune_stale(self) -> int:
         """Drop namespaces belonging to older code fingerprints."""
         removed = 0
         if not self.root.is_dir():
             return 0
         for child in self.root.iterdir():
-            if child.is_dir() and child != self.namespace:
+            if (child.is_dir() and child != self.namespace
+                    and child.name != "quarantine"):
                 shutil.rmtree(child, ignore_errors=True)
                 removed += 1
         return removed
@@ -163,7 +257,7 @@ class ResultStore:
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "writes": self.writes}
+                "writes": self.writes, "quarantined": self.quarantined}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ResultStore({str(self.namespace)!r}, hits={self.hits}, "

@@ -1,0 +1,755 @@
+"""Fault-tolerant sweep supervision: retries, timeouts, checkpoints.
+
+The paper's campaigns are large — dozens of policies x workloads x core
+counts — and a multi-hour sweep must survive worker crashes, hangs, OOM
+kills, and dirty shutdowns instead of dying on the first bad point.
+This module supplies the machinery the runner builds on:
+
+* :class:`FailedResult` — a failing point becomes a recorded value
+  (exception type, message, traceback tail, attempt count) instead of an
+  escaped exception that kills the pool.
+* :class:`RetryPolicy` — transient failures (``OSError`` family, broken
+  pools, killed workers, watchdog timeouts) are retried with exponential
+  backoff and deterministic per-point jitter; permanent failures are
+  classified immediately.
+* :class:`SupervisedPool` — a process-per-task worker pool whose
+  supervisor enforces a wall-clock deadline per point (see
+  :func:`compute_timeout`), kills hung workers, detects crashed ones by
+  exit code, and requeues transient casualties.
+* :class:`SweepManifest` — a checkpoint file (atomic rename, like the
+  result store) tracking done/failed/pending point keys, so
+  ``python -m repro sweep --resume`` continues a killed campaign.
+* :class:`SweepSupervisor` / :func:`supervised_sweep` — the process-wide
+  context the CLI installs around a sweep: failure collection across
+  every ``run_many`` call, SIGINT/SIGTERM handlers that flush the
+  manifest before exit, and incident logging through ``repro.obs``.
+
+Chaos (``REPRO_CHAOS``, :mod:`repro.checks.chaos`) injects worker
+raises/hangs/kills and store corruption against exactly this layer; the
+fault-injection suite in ``tests/test_chaos.py`` proves a chaotic sweep
+converges to the byte-identical fault-free result set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
+
+from ..sim.stats import SimResult
+from .spec import ExperimentSpec
+
+log = logging.getLogger(__name__)
+
+#: synthetic error names minted by the supervisor itself
+CRASH_ERROR = "WorkerCrash"
+TIMEOUT_ERROR = "WorkerTimeout"
+
+#: exception type names the retry layer treats as transient.  The OSError
+#: family covers full disks, dropped pipes, and sandbox refusals; the
+#: synthetic names cover watchdog kills and dead workers (OOM stand-ins);
+#: BrokenProcessPool is kept for payloads from legacy executors.
+TRANSIENT_ERROR_NAMES = frozenset({
+    "OSError", "IOError", "EnvironmentError", "InterruptedError",
+    "BlockingIOError", "BrokenPipeError", "ConnectionError",
+    "ConnectionAbortedError", "ConnectionRefusedError",
+    "ConnectionResetError", "TimeoutError", "MemoryError",
+    "BrokenProcessPool", CRASH_ERROR, TIMEOUT_ERROR,
+})
+
+#: default per-point deadline: a generous base plus work-proportional
+#: slack (records x cores at a floor throughput no healthy point is
+#: slower than).  Override per sweep with ``REPRO_TIMEOUT`` seconds
+#: (<= 0 disables the watchdog entirely).
+TIMEOUT_ENV = "REPRO_TIMEOUT"
+DEFAULT_TIMEOUT_BASE = 120.0
+DEFAULT_TIMEOUT_FLOOR_RATE = 25.0   # records*cores per second, worst case
+
+RETRIES_ENV = "REPRO_RETRIES"
+
+
+# ----------------------------------------------------------------------
+# Failure values
+# ----------------------------------------------------------------------
+@dataclass
+class FailedResult:
+    """What the sweep records for a point that could not be simulated."""
+
+    spec: ExperimentSpec
+    kind: str                 # "error" | "timeout" | "crash"
+    error: str                # exception type name (or synthetic)
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+    duration: float = 0.0     # wall-clock of the last attempt
+    permanent: bool = True
+
+    @property
+    def key(self) -> str:
+        return self.spec.key()
+
+    @property
+    def label(self) -> str:
+        return self.spec.label()
+
+    def summary(self) -> str:
+        return (f"{self.label}: {self.error}: {self.message} "
+                f"({self.kind}, {self.attempts} attempt(s))")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"spec": self.spec.to_dict(), "kind": self.kind,
+                "error": self.error, "message": self.message,
+                "traceback": self.traceback, "attempts": self.attempts,
+                "duration": round(self.duration, 3),
+                "permanent": self.permanent}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FailedResult":
+        return cls(spec=ExperimentSpec.from_dict(data["spec"]),
+                   kind=data["kind"], error=data["error"],
+                   message=data["message"],
+                   traceback=data.get("traceback", ""),
+                   attempts=data.get("attempts", 1),
+                   duration=data.get("duration", 0.0),
+                   permanent=data.get("permanent", True))
+
+    @classmethod
+    def from_exception(cls, spec: ExperimentSpec, exc: BaseException,
+                       attempts: int, duration: float,
+                       permanent: bool) -> "FailedResult":
+        import traceback as tb_mod
+        tail = "".join(tb_mod.format_exception(
+            type(exc), exc, exc.__traceback__))[-4000:]
+        return cls(spec=spec, kind="error", error=type(exc).__name__,
+                   message=str(exc), traceback=tail, attempts=attempts,
+                   duration=duration, permanent=permanent)
+
+
+class SweepFailedError(RuntimeError):
+    """Raised after a sweep finished its healthy points but some failed.
+
+    ``results`` maps every successfully resolved spec to its result —
+    callers that can tolerate holes may consume it; the CLI renders
+    ``failures`` as the failure table and exits nonzero.
+    """
+
+    def __init__(self, failures: Sequence[FailedResult],
+                 results: Optional[Dict[ExperimentSpec, SimResult]] = None):
+        self.failures = list(failures)
+        self.results = dict(results or {})
+        first = self.failures[0].summary() if self.failures else "?"
+        super().__init__(
+            f"{len(self.failures)} sweep point(s) failed (first: {first})")
+
+
+class SweepInterrupted(RuntimeError):
+    """SIGINT/SIGTERM stopped the sweep; partial state was checkpointed."""
+
+    def __init__(self, manifest_path: Optional[Path] = None,
+                 done: int = 0, pending: int = 0):
+        self.manifest_path = manifest_path
+        where = f"; manifest at {manifest_path}" if manifest_path else ""
+        super().__init__(
+            f"sweep interrupted with {done} point(s) done, "
+            f"{pending} pending{where}")
+
+
+class PoolUnavailable(Exception):
+    """The supervised worker pool could not start or died mid-sweep."""
+
+    def __init__(self, reason: BaseException) -> None:
+        super().__init__(str(reason))
+        self.reason = reason
+
+
+# ----------------------------------------------------------------------
+# Retry / timeout policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient failures are retried: cap, backoff, jitter."""
+
+    max_attempts: int = 3
+    backoff: float = 0.25      # seconds before the first retry
+    backoff_cap: float = 8.0   # exponential growth saturates here
+    jitter: float = 0.5        # fraction of the delay added as jitter
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def is_transient_name(self, error_name: str) -> bool:
+        return error_name in TRANSIENT_ERROR_NAMES
+
+    def is_transient(self, exc: BaseException) -> bool:
+        if isinstance(exc, (OSError, ConnectionError, MemoryError)):
+            return True
+        return self.is_transient_name(type(exc).__name__)
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before retry number ``attempt + 1`` for point ``key``.
+
+        Jitter is derived from a hash of ``(key, attempt)`` — not the
+        process RNG — so sweeps stay deterministic and two workers
+        retrying simultaneously still decorrelate.
+        """
+        base = min(self.backoff_cap, self.backoff * (2.0 ** attempt))
+        digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return base * (1.0 + self.jitter * unit)
+
+    @classmethod
+    def from_env(cls, env: Optional[Dict[str, str]] = None) -> "RetryPolicy":
+        """Policy with ``REPRO_RETRIES`` (attempt cap) applied, if set."""
+        e: Dict[str, str] = dict(os.environ) if env is None else env
+        raw = e.get(RETRIES_ENV, "").strip()
+        if raw:
+            try:
+                return cls(max_attempts=max(1, int(raw)))
+            except ValueError:
+                log.warning("ignoring non-integer %s=%r", RETRIES_ENV, raw)
+        return cls()
+
+
+def compute_timeout(spec: ExperimentSpec,
+                    override: Optional[float] = None) -> Optional[float]:
+    """Wall-clock deadline (seconds) for one point, or ``None`` (off).
+
+    Precedence: explicit ``override`` > ``REPRO_TIMEOUT`` > the default
+    scale-proportional deadline.  Values <= 0 disable the watchdog.
+    """
+    if override is not None:
+        return override if override > 0 else None
+    raw = os.environ.get(TIMEOUT_ENV, "").strip()
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            log.warning("ignoring non-numeric %s=%r", TIMEOUT_ENV, raw)
+        else:
+            return value if value > 0 else None
+    return (DEFAULT_TIMEOUT_BASE +
+            spec.cost_units() / DEFAULT_TIMEOUT_FLOOR_RATE)
+
+
+# ----------------------------------------------------------------------
+# Sweep manifest (checkpoint / resume)
+# ----------------------------------------------------------------------
+STATUS_PENDING = "pending"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+MANIFEST_VERSION = 1
+DEFAULT_MANIFEST = "sweep.manifest.json"
+
+
+class SweepManifest:
+    """Checkpoint ledger for one campaign: done/failed/pending points.
+
+    Results themselves live in the content-addressed store; the manifest
+    only tracks *status*, so resuming is "serve done points from the
+    store, re-run the rest".  Writes are atomic (tempfile + rename) and
+    cheap (a few KB), so the runner checkpoints after every completion.
+    """
+
+    def __init__(self, path: Union[str, Path], sweep: str = "",
+                 meta: Optional[Dict[str, Any]] = None,
+                 persist: bool = True) -> None:
+        self.path = Path(path)
+        self.sweep = sweep
+        self.meta = dict(meta or {})
+        self.points: Dict[str, Dict[str, Any]] = {}
+        #: False = keep in memory only, write on interrupt/failure flush
+        self.persist = persist
+
+    # -- bookkeeping ----------------------------------------------------
+    def register(self, spec: ExperimentSpec) -> str:
+        """Track ``spec``; an existing entry keeps its status."""
+        key = spec.key()
+        if key not in self.points:
+            self.points[key] = {"spec": spec.to_dict(),
+                                "label": spec.label(),
+                                "status": STATUS_PENDING,
+                                "attempts": 0, "error": None}
+        return key
+
+    def _entry(self, spec: ExperimentSpec) -> Dict[str, Any]:
+        return self.points[self.register(spec)]
+
+    def mark_done(self, spec: ExperimentSpec) -> None:
+        entry = self._entry(spec)
+        entry["status"] = STATUS_DONE
+        entry["error"] = None
+
+    def mark_failed(self, failure: FailedResult) -> None:
+        entry = self._entry(failure.spec)
+        entry["status"] = STATUS_FAILED
+        entry["attempts"] = failure.attempts
+        entry["error"] = {"kind": failure.kind, "error": failure.error,
+                          "message": failure.message,
+                          "permanent": failure.permanent}
+
+    def reset_failures(self) -> int:
+        """Failed -> pending (a ``--resume`` gives them a fresh start)."""
+        reset = 0
+        for entry in self.points.values():
+            if entry["status"] == STATUS_FAILED:
+                entry["status"] = STATUS_PENDING
+                entry["error"] = None
+                reset += 1
+        return reset
+
+    def counts(self) -> Dict[str, int]:
+        out = {STATUS_PENDING: 0, STATUS_DONE: 0, STATUS_FAILED: 0}
+        for entry in self.points.values():
+            out[entry["status"]] = out.get(entry["status"], 0) + 1
+        return out
+
+    def keys_with_status(self, status: str) -> List[str]:
+        return [k for k, e in self.points.items() if e["status"] == status]
+
+    def summary(self) -> str:
+        c = self.counts()
+        return (f"{len(self.points)} point(s): {c[STATUS_DONE]} done, "
+                f"{c[STATUS_FAILED]} failed, {c[STATUS_PENDING]} pending")
+
+    # -- persistence ----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"version": MANIFEST_VERSION, "sweep": self.sweep,
+                "meta": dict(self.meta), "points": self.points}
+
+    def save(self) -> Path:
+        """Atomic write (tempfile + rename), mirroring the result store."""
+        payload = json.dumps(self.to_dict(), sort_keys=True, indent=1)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return self.path
+
+    def checkpoint(self) -> None:
+        """Persist if this manifest is file-backed (never raises)."""
+        if not self.persist:
+            return
+        try:
+            self.save()
+        except OSError as exc:
+            log.warning("manifest checkpoint failed: %s", exc)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SweepManifest":
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {data.get('version')!r} "
+                f"in {path}")
+        manifest = cls(path, sweep=data.get("sweep", ""),
+                       meta=data.get("meta", {}))
+        manifest.points = dict(data.get("points", {}))
+        return manifest
+
+
+# ----------------------------------------------------------------------
+# The process-wide sweep supervisor
+# ----------------------------------------------------------------------
+class SweepSupervisor:
+    """Cross-``run_many`` context for one campaign (see module doc)."""
+
+    def __init__(self, keep_going: bool = True,
+                 retry: Optional[RetryPolicy] = None,
+                 timeout: Optional[float] = None,
+                 manifest: Optional[SweepManifest] = None,
+                 incidents: Optional[Any] = None) -> None:
+        self.keep_going = keep_going
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
+        self.timeout = timeout          # None = per-spec default
+        self.manifest = manifest
+        self.incidents = incidents      # repro.obs.incidents.IncidentLog
+        self.failures: List[FailedResult] = []
+        self.interrupted = False
+        self._signal_count = 0
+        self._old_handlers: Dict[int, Any] = {}
+
+    # -- recording ------------------------------------------------------
+    def record_incident(self, event: str,
+                        spec: Optional[ExperimentSpec] = None,
+                        **fields: Any) -> None:
+        if self.incidents is None:
+            return
+        if spec is not None:
+            fields.setdefault("label", spec.label())
+            fields.setdefault("key", spec.key()[:12])
+        self.incidents.add(event, **fields)
+
+    def record_failure(self, failure: FailedResult) -> None:
+        self.failures.append(failure)
+        if self.manifest is not None:
+            self.manifest.mark_failed(failure)
+            self.manifest.checkpoint()
+        self.record_incident("failure", failure.spec, kind=failure.kind,
+                             error=failure.error, attempts=failure.attempts)
+
+    def flush(self, force: bool = False) -> None:
+        """Write the manifest out (always when ``force``)."""
+        if self.manifest is None:
+            return
+        if force:
+            try:
+                self.manifest.save()
+            except OSError as exc:
+                log.warning("manifest flush failed: %s", exc)
+        else:
+            self.manifest.checkpoint()
+
+    # -- signals --------------------------------------------------------
+    def install_signal_handlers(self) -> None:
+        """SIGINT/SIGTERM -> graceful stop + manifest flush (main thread
+        only; a second signal falls through to KeyboardInterrupt)."""
+        import signal
+        import threading
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._old_handlers[signum] = signal.signal(
+                    signum, self._on_signal)
+            except (ValueError, OSError):  # exotic embedding
+                continue
+
+    def restore_signal_handlers(self) -> None:
+        import signal
+        for signum, handler in self._old_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                continue
+        self._old_handlers.clear()
+
+    def _on_signal(self, signum: int, frame: Any) -> None:
+        self._signal_count += 1
+        self.interrupted = True
+        if self.incidents is not None:
+            self.incidents.add("interrupt", signal=signum,
+                               count=self._signal_count)
+        if self._signal_count >= 2:
+            # The polite stop is being ignored (or is too slow for the
+            # user) — flush what we have and die the classic way.
+            self.flush(force=True)
+            self.restore_signal_handlers()
+            raise KeyboardInterrupt
+
+
+_ACTIVE: Optional[SweepSupervisor] = None
+
+
+def active_supervisor() -> Optional[SweepSupervisor]:
+    return _ACTIVE
+
+
+class supervised_sweep:
+    """Context manager installing a :class:`SweepSupervisor` process-wide.
+
+    While active, every :func:`repro.harness.runner.run_many` call picks
+    up the supervisor's retry/timeout/keep-going settings, records
+    failures into it, and checkpoints its manifest — which is what lets
+    a *named* sweep (several ``run_many`` calls deep inside figure code)
+    behave as one supervised campaign.
+    """
+
+    def __init__(self, keep_going: bool = True,
+                 retry: Optional[RetryPolicy] = None,
+                 timeout: Optional[float] = None,
+                 manifest: Optional[SweepManifest] = None,
+                 incidents: Optional[Any] = None) -> None:
+        self._sup = SweepSupervisor(keep_going=keep_going, retry=retry,
+                                    timeout=timeout, manifest=manifest,
+                                    incidents=incidents)
+
+    def __enter__(self) -> SweepSupervisor:
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise RuntimeError("a supervised sweep is already active")
+        _ACTIVE = self._sup
+        self._sup.install_signal_handlers()
+        return self._sup
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        global _ACTIVE
+        _ACTIVE = None
+        self._sup.restore_signal_handlers()
+
+
+# ----------------------------------------------------------------------
+# Supervised worker pool
+# ----------------------------------------------------------------------
+def _supervised_worker(conn: Any, spec_data: Dict[str, Any],
+                       attempt: int) -> None:
+    """Child-process entry point: simulate one spec, send one payload.
+
+    Failures are *reported*, not raised — the parent classifies them.
+    Chaos (``REPRO_CHAOS``) injects its disruptive faults here, where a
+    kill or hang only costs one sacrificial worker.
+    """
+    start = time.monotonic()
+    try:
+        from ..checks.chaos import chaos_from_env, inject_execute
+        spec = ExperimentSpec.from_dict(spec_data)
+        chaos = chaos_from_env()
+        if chaos is not None:
+            inject_execute(chaos, spec.key(), attempt, disruptive_ok=True)
+        result = spec.execute()
+        payload: Dict[str, Any] = {"ok": True, "result": result.to_dict(),
+                                   "duration": time.monotonic() - start}
+    except BaseException as exc:   # report absolutely everything
+        import traceback as tb_mod
+        payload = {"ok": False, "error": type(exc).__name__,
+                   "message": str(exc),
+                   "traceback": tb_mod.format_exc()[-4000:],
+                   "duration": time.monotonic() - start}
+    try:
+        conn.send(payload)
+    except (BrokenPipeError, OSError):  # parent already gave up on us
+        pass
+    finally:
+        conn.close()
+
+
+class _ActiveTask:
+    """One live worker process and its deadline."""
+
+    __slots__ = ("spec", "key", "attempt", "proc", "conn", "started",
+                 "deadline")
+
+    def __init__(self, spec: ExperimentSpec, attempt: int, proc: Any,
+                 conn: Any, started: float,
+                 deadline: Optional[float]) -> None:
+        self.spec = spec
+        self.key = spec.key()
+        self.attempt = attempt
+        self.proc = proc
+        self.conn = conn
+        self.started = started
+        self.deadline = deadline
+
+
+class SupervisedPool:
+    """Process-per-task pool with watchdog, retries, and crash detection.
+
+    Compared to ``concurrent.futures.ProcessPoolExecutor``, giving every
+    point its own (forked) process buys three things the fault-tolerance
+    layer needs: a hung point can be killed without tearing down healthy
+    siblings, a worker that dies (``exit(137)``) is attributable to
+    exactly one spec, and one poisoned interpreter state can never leak
+    into later points.  The fork cost is microseconds next to a
+    seconds-long simulation.
+    """
+
+    def __init__(self, n_workers: int, retry: RetryPolicy,
+                 timeout_for: Callable[[ExperimentSpec], Optional[float]],
+                 supervisor: Optional[SweepSupervisor] = None,
+                 poll_interval: float = 0.05) -> None:
+        self.n_workers = max(1, n_workers)
+        self.retry = retry
+        self.timeout_for = timeout_for
+        self.supervisor = supervisor
+        self.poll_interval = poll_interval
+
+    # -- public ---------------------------------------------------------
+    def run(self, specs: Sequence[ExperimentSpec],
+            on_success: Callable[[ExperimentSpec, SimResult, float], None],
+            on_failure: Callable[[FailedResult], None],
+            on_retry: Optional[Callable[[ExperimentSpec, int, str], None]]
+            = None,
+            keep_going: bool = True) -> None:
+        """Resolve every spec, retrying transients; see module doc.
+
+        Raises :class:`PoolUnavailable` if processes cannot be created
+        (the caller falls back to serial execution for whatever has not
+        completed) and :class:`SweepInterrupted` on a supervised signal.
+        """
+        try:
+            import multiprocessing as mp
+            from multiprocessing.connection import wait as mp_wait
+        except ImportError as exc:   # stripped-down stdlib
+            raise PoolUnavailable(exc) from exc
+        ctx = mp.get_context()
+
+        # (spec, attempt, not-before) — retries wait out their backoff
+        queue: List[Tuple[ExperimentSpec, int, float]] = [
+            (spec, 0, 0.0) for spec in specs]
+        active: List[_ActiveTask] = []
+        aborted = False
+
+        def launch(spec: ExperimentSpec, attempt: int) -> None:
+            try:
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(target=_supervised_worker,
+                                   args=(child_conn, spec.to_dict(), attempt),
+                                   daemon=True)
+                proc.start()
+            except (OSError, PermissionError, ValueError) as exc:
+                raise PoolUnavailable(exc) from exc
+            child_conn.close()
+            now = time.monotonic()
+            timeout = self.timeout_for(spec)
+            active.append(_ActiveTask(
+                spec, attempt, proc, parent_conn, now,
+                None if timeout is None else now + timeout))
+
+        def reap(task: _ActiveTask) -> None:
+            """A task's pipe is readable: result, reported error, or EOF
+            from a dead worker."""
+            try:
+                payload = task.conn.recv()
+            except (EOFError, OSError):
+                payload = None
+            task.conn.close()
+            task.proc.join()
+            active.remove(task)
+            if payload is None:
+                code = task.proc.exitcode
+                self._handle_bad(task, "crash", CRASH_ERROR,
+                                 f"worker exited with code {code}", "",
+                                 time.monotonic() - task.started,
+                                 requeue, fail)
+            elif payload.get("ok"):
+                on_success(task.spec,
+                           SimResult.from_dict(payload["result"]),
+                           payload["duration"])
+            else:
+                self._handle_bad(task, "error", payload["error"],
+                                 payload["message"],
+                                 payload.get("traceback", ""),
+                                 payload.get("duration", 0.0),
+                                 requeue, fail)
+
+        def kill(task: _ActiveTask, reason: str) -> None:
+            task.proc.terminate()
+            task.proc.join(1.0)
+            if task.proc.is_alive():   # SIGTERM ignored — escalate
+                task.proc.kill()
+                task.proc.join(1.0)
+            task.conn.close()
+            if task in active:
+                active.remove(task)
+
+        def requeue(task: _ActiveTask, error: str) -> None:
+            if on_retry is not None:
+                on_retry(task.spec, task.attempt, error)
+            if self.supervisor is not None:
+                self.supervisor.record_incident(
+                    "retry", task.spec, error=error, attempt=task.attempt)
+            delay = self.retry.delay(task.key, task.attempt)
+            queue.append((task.spec, task.attempt + 1,
+                          time.monotonic() + delay))
+
+        def fail(failure: FailedResult) -> None:
+            nonlocal aborted
+            on_failure(failure)
+            if not keep_going:
+                aborted = True
+
+        try:
+            while queue or active:
+                if self.supervisor is not None and self.supervisor.interrupted:
+                    self._abort(active, kill)
+                    raise SweepInterrupted()
+                if aborted:
+                    self._abort(active, kill)
+                    queue.clear()
+                    break
+                now = time.monotonic()
+                while len(active) < self.n_workers:
+                    index = next((i for i, (_, _, nb) in enumerate(queue)
+                                  if nb <= now), None)
+                    if index is None:
+                        break
+                    spec, attempt, _ = queue.pop(index)
+                    launch(spec, attempt)
+                if not active:
+                    if queue:   # everything is backing off
+                        next_at = min(nb for _, _, nb in queue)
+                        time.sleep(min(0.25, max(0.0, next_at - now)))
+                    continue
+                wait_for = self.poll_interval
+                deadlines = [t.deadline for t in active
+                             if t.deadline is not None]
+                if deadlines:
+                    wait_for = min(wait_for,
+                                   max(0.0, min(deadlines) - now))
+                ready = mp_wait([t.conn for t in active], timeout=wait_for)
+                ready_set = set(ready)
+                for task in [t for t in active if t.conn in ready_set]:
+                    reap(task)
+                now = time.monotonic()
+                for task in [t for t in active
+                             if t.deadline is not None
+                             and now > t.deadline]:
+                    kill(task, "timeout")
+                    self._handle_bad(
+                        task, "timeout", TIMEOUT_ERROR,
+                        f"point exceeded its "
+                        f"{task.deadline - task.started:.0f}s deadline",
+                        "", now - task.started, requeue, fail)
+        except PoolUnavailable:
+            self._abort(active, kill)
+            raise
+        except BaseException:
+            self._abort(active, kill)
+            raise
+
+    # -- internals ------------------------------------------------------
+    def _handle_bad(self, task: _ActiveTask, kind: str, error: str,
+                    message: str, traceback: str, duration: float,
+                    requeue: Callable[[_ActiveTask, str], None],
+                    fail: Callable[[FailedResult], None]) -> None:
+        transient = self.retry.is_transient_name(error)
+        if self.supervisor is not None and kind in ("timeout", "crash"):
+            self.supervisor.record_incident(kind, task.spec, error=error,
+                                            attempt=task.attempt)
+        if transient and task.attempt + 1 < self.retry.max_attempts:
+            requeue(task, error)
+            return
+        fail(FailedResult(spec=task.spec, kind=kind, error=error,
+                          message=message, traceback=traceback,
+                          attempts=task.attempt + 1, duration=duration,
+                          permanent=not transient))
+
+    @staticmethod
+    def _abort(active: List[_ActiveTask],
+               kill: Callable[[_ActiveTask, str], None]) -> None:
+        for task in list(active):
+            kill(task, "abort")
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def format_failure_table(failures: Sequence[FailedResult]) -> str:
+    """The CLI's failure table (one row per permanently failed point)."""
+    from ..analysis.reporting import format_table
+    rows = []
+    for failure in failures:
+        message = failure.message
+        if len(message) > 60:
+            message = message[:57] + "..."
+        rows.append([failure.label, failure.kind, failure.error,
+                     str(failure.attempts), message])
+    header = f"{len(failures)} point(s) failed:"
+    return "\n".join([header, format_table(
+        ["point", "kind", "error", "attempts", "message"], rows)])

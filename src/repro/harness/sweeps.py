@@ -20,8 +20,6 @@ from .experiment import (
     PREFETCH_SCHEMES,
     bench_gap_workloads,
     bench_spec_workloads,
-    run_mix,
-    run_single,
     scaling_sweep,
     speedup_sweep,
 )
@@ -31,6 +29,11 @@ from .spec import ExperimentSpec
 
 #: a sweep function: (workers, progress) -> rendered table text
 SweepFn = Callable[[Optional[int], object], str]
+
+
+def _cell(value: Optional[float]) -> str:
+    """A failed point renders as a hole, not a crashed sweep."""
+    return "-" if value is None else f"{value:.3f}"
 
 
 @dataclass(frozen=True)
@@ -46,7 +49,7 @@ def _speedup(title: str, suite: str, schemes: List[str], prefetch: bool,
         table = speedup_sweep(workloads_fn(), schemes, n_cores=4,
                               prefetch=prefetch, suite=suite,
                               workers=workers, progress=progress)
-        rows = [[w] + [f"{table[w][p]:.3f}" for p in schemes]
+        rows = [[w] + [_cell(table[w][p]) for p in schemes]
                 for w in table]
         return "\n".join([title, format_table(["workload"] + schemes, rows)])
     return collect
@@ -57,7 +60,7 @@ def _scaling(title: str, suite: str, schemes: List[str],
     def collect(workers: Optional[int], progress) -> str:
         out = scaling_sweep(workloads_fn(), schemes, core_counts=(4, 8, 16),
                             prefetch=prefetch, suite=suite, workers=workers)
-        rows = [[f"{cores} cores"] + [f"{out[cores][p]:.3f}"
+        rows = [[f"{cores} cores"] + [_cell(out[cores][p])
                                       for p in schemes]
                 for cores in sorted(out)]
         return "\n".join([title, format_table(["config"] + schemes, rows)])
@@ -78,22 +81,33 @@ def _mixed(workers: Optional[int], progress) -> str:
     mix_specs = {(mix_id, policy): ExperimentSpec.mix(mix_id, policy)
                  for mix_id in range(n_mixes) for policy in schemes}
     ordered = list(alone_specs.values()) + list(mix_specs.values())
-    run_many(ordered, workers=workers, progress=progress)
+    resolved = dict(zip(ordered, run_many(ordered, workers=workers,
+                                          progress=progress)))
     rows = []
     gm_values: Dict[str, List[float]] = {p: [] for p in schemes}
     for mix_id in range(n_mixes):
         names = mixed_workload_names(4, mix_id)
-        alone = [run_single(n, "lru", prefetch=True).ipc[0] for n in names]
-        base = run_mix(mix_id, "lru")
+        alone_results = [resolved[alone_specs[n]] for n in names]
+        base = resolved[mix_specs[(mix_id, "lru")]]
+        # A failed baseline (mix or IPC_alone) sinks the whole row; a
+        # failed policy point only holes its own cell.
+        if base is None or any(r is None for r in alone_results):
+            rows.append([f"mix{mix_id:03d}"] + ["-"] * len(schemes))
+            continue
+        alone = [r.ipc[0] for r in alone_results]
         row = []
         for policy in schemes:
-            res = base if policy == "lru" else run_mix(mix_id, policy)
+            res = resolved[mix_specs[(mix_id, policy)]]
+            if res is None:
+                row.append("-")
+                continue
             value = normalized_weighted_ipc(res, base, alone)
             row.append(f"{value:.3f}")
             gm_values[policy].append(value)
         rows.append([f"mix{mix_id:03d}"] + row)
-    rows.append(["GEOMEAN"] + [f"{geometric_mean(gm_values[p]):.3f}"
-                               for p in schemes])
+    rows.append(["GEOMEAN"] + [
+        _cell(geometric_mean(gm_values[p]) if gm_values[p] else None)
+        for p in schemes])
     return "\n".join([
         f"Fig. 10 - normalized weighted IPC, {n_mixes} mixed 4-core "
         "workloads, with prefetching",

@@ -21,6 +21,7 @@ or through the environment for sweep workers
 ``REPRO_TRACE_LIMIT``, ``REPRO_OBS_DIR``).
 """
 
+from .incidents import IncidentLog
 from .sampler import MetricsSampler
 from .schema import (MetricsTable, ObsConfig, OBS_SCHEMA_VERSION,
                      obs_from_env, write_outputs)
@@ -28,6 +29,7 @@ from .tracer import ChromeTracer
 
 __all__ = [
     "ChromeTracer",
+    "IncidentLog",
     "MetricsSampler",
     "MetricsTable",
     "ObsConfig",

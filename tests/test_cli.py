@@ -1,5 +1,7 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -147,3 +149,125 @@ def test_check_command_repo_tree_is_clean(capsys):
     from pathlib import Path
     src = Path(__file__).resolve().parent.parent / "src"
     assert main(["check", str(src)]) == 0
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance: chaos sweeps, resume, fsck, incident reports
+# ----------------------------------------------------------------------
+@pytest.fixture
+def sweep_env(tmp_path, monkeypatch):
+    """Isolated store + memo + chaos env for supervised-CLI tests."""
+    import os
+
+    from repro.harness.runner import clear_memo
+    from repro.harness.store import (ResultStore, reset_default_store,
+                                     set_default_store)
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    clear_memo()
+    store = ResultStore(tmp_path / "store")
+    set_default_store(store)
+    yield store
+    # --chaos exports REPRO_CHAOS with a plain os.environ write, which
+    # monkeypatch would faithfully *restore* on undo — pop it directly.
+    os.environ.pop("REPRO_CHAOS", None)
+    clear_memo()
+    reset_default_store()
+
+
+def test_sweep_chaos_fails_with_table_then_resumes(sweep_env, tmp_path,
+                                                   capsys):
+    import os
+    manifest = str(tmp_path / "m.json")
+    base = ["sweep", "fig07", "--workloads", "1", "--records", "200",
+            "--workers", "1", "--quiet", "--manifest", manifest,
+            "--obs-dir", str(tmp_path / "obs")]
+    assert main(base + ["--chaos", "raise:11:1/3"]) == 3
+    captured = capsys.readouterr()
+    assert "Fig. 7" in captured.out          # healthy points finished
+    assert "-" in captured.out               # failed cells render holes
+    assert "point(s) failed" in captured.err
+    assert "ChaosError" in captured.err
+    assert "--resume" in captured.err
+
+    # chaos off + --resume completes and matches a fault-free sweep
+    # (plain pop: --chaos exported it with a raw os.environ write)
+    os.environ.pop("REPRO_CHAOS", None)
+    from repro.harness.runner import clear_memo
+    clear_memo()
+    assert main(base + ["--resume"]) == 0
+    resumed = capsys.readouterr().out
+    clear_memo()
+    assert main(["sweep", "fig07", "--workloads", "1", "--records", "200",
+                 "--workers", "1", "--quiet"]) == 0
+    clean = capsys.readouterr().out
+
+    def table_of(text):
+        return [ln for ln in text.splitlines()
+                if ln.startswith(("workload", "429.mcf", "GEOMEAN", "---"))]
+    assert table_of(resumed) == table_of(clean)
+
+
+def test_sweep_fail_fast_aborts(sweep_env, tmp_path, capsys):
+    assert main(["sweep", "fig07", "--workloads", "1", "--records", "200",
+                 "--workers", "1", "--quiet", "--fail-fast",
+                 "--obs-dir", str(tmp_path / "obs"),
+                 "--chaos", "raise:11:1/3"]) == 3
+    captured = capsys.readouterr()
+    assert "Fig. 7" not in captured.out      # aborted before the table
+    assert "point(s) failed" in captured.err
+
+
+def test_sweep_writes_incident_artifact(sweep_env, tmp_path, capsys):
+    obs_dir = tmp_path / "obs"
+    assert main(["sweep", "fig07", "--workloads", "1", "--records", "200",
+                 "--workers", "1", "--quiet", "--obs-dir", str(obs_dir),
+                 "--chaos", "raise:11:1/3"]) == 3
+    capsys.readouterr()
+    artifact = obs_dir / "sweep-fig07.incidents.json"
+    assert artifact.is_file()
+    payload = json.loads(artifact.read_text())
+    assert payload["tag"] == "sweep-fig07"
+    assert any(e["event"] == "failure" for e in payload["events"])
+
+    # and `report --incidents` renders it as a markdown section
+    assert main(["report", "--incidents", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "### Incidents (sweep-fig07)" in out
+    assert "ChaosError" in out
+
+
+def test_run_command_reports_failures(sweep_env, tmp_path, capsys):
+    assert main(["run", "462.libquantum", "--policies", "lru",
+                 "--records", "600", "--no-store", "--json",
+                 "--obs-dir", str(tmp_path / "obs"),
+                 "--chaos", "raise:0:1/1", "--retries", "1"]) == 3
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert payload[0]["result"] is None
+    assert "ChaosError" in captured.err
+
+
+def test_supervise_flag_validation(capsys):
+    assert main(["sweep", "fig07", "--chaos", "explode:1"]) == 2
+    assert "unknown chaos fault" in capsys.readouterr().err
+    assert main(["sweep", "fig07", "--retries", "0"]) == 2
+    assert "--retries" in capsys.readouterr().err
+    assert main(["run", "429.mcf", "--timeout", "-1"]) == 2
+    assert "--timeout" in capsys.readouterr().err
+
+
+def test_store_fsck_command(sweep_env, capsys):
+    assert main(["run", "462.libquantum", "--policies", "lru",
+                 "--records", "600"]) == 0
+    capsys.readouterr()
+    assert main(["store"]) == 0               # bare `store` prints stats
+    assert "entries:" in capsys.readouterr().out
+    assert main(["store", "fsck"]) == 0       # clean store
+    assert "0 quarantined" in capsys.readouterr().out
+
+    [path] = list(sweep_env.entries())
+    path.write_text("{broken json")
+    assert main(["store", "fsck"]) == 1       # corrupt -> quarantine, exit 1
+    out = capsys.readouterr().out
+    assert "1 quarantined" in out and "re-simulates" in out
+    assert main(["store", "fsck"]) == 0       # second pass is clean

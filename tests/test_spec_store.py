@@ -89,7 +89,7 @@ def test_store_put_get_roundtrip(tmp_path, spec, result):
     loaded = store.get(spec)
     assert loaded == result
     assert loaded.to_json() == result.to_json()
-    assert store.stats() == {"hits": 1, "misses": 1, "writes": 1}
+    assert store.stats() == {"hits": 1, "misses": 1, "writes": 1, "quarantined": 0}
     assert len(store) == 1
 
 

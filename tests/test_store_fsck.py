@@ -1,0 +1,122 @@
+"""Store hardening: corrupt-entry quarantine, fsck, and the chaos
+corruption hook."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.harness import ExperimentSpec, ResultStore
+from repro.harness.runner import clear_memo
+from repro.harness.store import reset_default_store, set_default_store
+
+
+@pytest.fixture(autouse=True)
+def isolated(monkeypatch):
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    clear_memo()
+    yield
+    clear_memo()
+    reset_default_store()
+
+
+@pytest.fixture
+def spec():
+    return ExperimentSpec.single("462.libquantum", "lru", n_records=300)
+
+
+@pytest.fixture
+def store(tmp_path, spec):
+    store = ResultStore(tmp_path / "store")
+    store.put(spec, spec.execute())
+    return store
+
+
+def entry_path(store, spec):
+    [path] = [p for p in store.entries() if p.stem == spec.key()]
+    return path
+
+
+def test_fsck_clean_store(store):
+    report = store.fsck()
+    assert report.scanned == report.ok == 1
+    assert not report.quarantined and not report.errors
+    assert "1 ok" in report.summary()
+
+
+def test_fsck_quarantines_truncated_entry(store, spec):
+    path = entry_path(store, spec)
+    data = path.read_text()
+    path.write_text(data[:len(data) // 2])
+    report = store.fsck()
+    assert report.scanned == 1 and report.ok == 0
+    assert len(report.quarantined) == 1
+    assert not path.exists()
+    assert (store.quarantine_dir / path.name).is_file()
+    # the namespace is clean again
+    after = store.fsck()
+    assert after.scanned == 0 and not after.quarantined
+
+
+def test_fsck_quarantines_key_mismatch(store, spec):
+    path = entry_path(store, spec)
+    misfiled = path.with_name("0" * 64 + ".json")
+    shutil.copy(path, misfiled)
+    report = store.fsck()
+    assert report.ok == 1                       # the original survives
+    assert len(report.quarantined) == 1
+    assert any("key mismatch" in line for line in report.errors)
+    assert not misfiled.exists()
+
+
+def test_fsck_quarantines_missing_fields(store, spec):
+    path = entry_path(store, spec)
+    path.write_text(json.dumps({"spec": spec.to_dict()}))  # no result
+    report = store.fsck()
+    assert len(report.quarantined) == 1
+
+
+def test_get_quarantines_corrupt_entry_as_miss(store, spec):
+    path = entry_path(store, spec)
+    path.write_text("{definitely not json")
+    assert store.get(spec) is None              # miss, not an exception
+    assert not path.exists()                    # moved aside...
+    assert (store.quarantine_dir / path.name).is_file()
+    assert store.stats()["quarantined"] == 1
+    assert spec not in store
+
+
+def test_quarantine_collisions_get_suffixes(store, spec):
+    for _ in range(2):
+        path = entry_path(store, spec)
+        path.write_text("{broken")
+        assert store.get(spec) is None
+        store.put(spec, spec.execute())
+        clear_memo()
+    names = sorted(p.name for p in store.quarantine_dir.iterdir())
+    assert len(names) == 2                      # second move got a suffix
+    assert names[0] == spec.key() + ".json"
+
+
+def test_prune_stale_keeps_quarantine(tmp_path, spec):
+    current = ResultStore(tmp_path / "store")
+    current.put(spec, spec.execute())
+    path = entry_path(current, spec)
+    path.write_text("{broken")
+    assert current.get(spec) is None            # populate quarantine/
+    other = ResultStore(tmp_path / "store", fingerprint="f" * 64)
+    removed = other.prune_stale()
+    assert removed == 1                         # the stale namespace only
+    assert other.quarantine_dir.parent.is_dir() # quarantine/ survives
+
+
+def test_chaos_corrupt_hook_on_put(tmp_path, spec, monkeypatch):
+    monkeypatch.setenv("REPRO_CHAOS", "corrupt:1:1/1")
+    store = ResultStore(tmp_path / "store")
+    store.put(spec, spec.execute())
+    path = entry_path(store, spec)
+    with pytest.raises(ValueError):
+        json.loads(path.read_text())            # write was truncated
+    monkeypatch.delenv("REPRO_CHAOS")
+    assert store.get(spec) is None              # hardened get quarantines
+    assert store.fsck().scanned == 0
