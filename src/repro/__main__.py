@@ -208,7 +208,8 @@ def _cmd_run(args) -> int:
         specs = [ExperimentSpec.multicopy(
                      args.workload, policy, n_cores=args.cores,
                      prefetch=args.prefetch, suite=suite,
-                     n_records=args.records // 2, seed=args.seed)
+                     n_records=args.records // 2, seed=args.seed,
+                     engine=args.engine)
                  for policy in args.policies]
         ctx, incidents = _supervision_from_args(
             args, tag=f"run-{args.workload}")
@@ -273,6 +274,12 @@ def _cmd_sweep(args) -> int:
         for name, title in available_sweeps():
             print(f"{name:8s} {title}")
         return 0
+    if args.engine:
+        # Same mechanism as --sanitize: pool workers inherit through the
+        # environment.  REPRO_ENGINE re-executes the sweep's specs under
+        # the named (bit-identical) backend without changing their keys.
+        import os
+        os.environ["REPRO_ENGINE"] = args.engine
     if args.sanitize:
         _enable_sanitizer()
     obs_on = _enable_obs(args)
@@ -340,7 +347,7 @@ def _cmd_perf(args) -> int:
         return 0
     try:
         payload = run_suite(args.cases, repeat=args.repeat, smoke=args.smoke,
-                            progress=not args.quiet)
+                            progress=not args.quiet, engine=args.engine)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -534,6 +541,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable the runtime invariant sanitizer "
                           "(REPRO_SANITIZE=1; store-cached points are not "
                           "re-simulated — add --no-store to force checking)")
+    run.add_argument("--engine", default="classic", metavar="NAME",
+                     help="engine backend (classic|batched; bit-identical "
+                          "— part of the spec fingerprint)")
     _add_supervise_args(run)
     _add_obs_args(run)
 
@@ -559,6 +569,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--sanitize", action="store_true",
                        help="enable the runtime invariant sanitizer for "
                             "every freshly simulated point")
+    sweep.add_argument("--engine", default=None, metavar="NAME",
+                       help="engine backend for fresh simulation "
+                            "(exports REPRO_ENGINE so pool workers "
+                            "inherit it; bit-identical to classic)")
     _add_supervise_args(sweep, with_manifest=True)
     _add_obs_args(sweep)
 
@@ -578,6 +592,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "BENCH_perf.smoke.json with --smoke)")
     perf.add_argument("--quiet", action="store_true",
                       help="suppress per-case progress lines")
+    perf.add_argument("--engine", default=None, metavar="NAME",
+                      help="engine backend to benchmark (default: classic "
+                           "unless REPRO_ENGINE overrides)")
     perf.add_argument("--diff", nargs=2, metavar=("BASE", "FRESH"),
                       help="print a markdown trend table comparing two "
                            "payload files instead of running the suite")

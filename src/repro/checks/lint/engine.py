@@ -19,7 +19,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from .rules import ALL_RULE_IDS, HOT_PATH_MANIFEST, RULES, Rule
+from .rules import (ALL_RULE_IDS, ENGINE_MODULES, HOT_PATH_MANIFEST, RULES,
+                    Rule)
 
 _SUPPRESS_RE = re.compile(
     r"#\s*simsan:\s*(?P<skipfile>skip-file\b)?(?:skip=(?P<ids>[A-Za-z0-9, ]+))?"
@@ -527,7 +528,7 @@ class _Linter(ast.NodeVisitor):
                                 "logging call")
 
         # SS204 — scheduling around the engine ------------------------
-        if self.module != "repro.sim.engine":
+        if self.module not in ENGINE_MODULES:
             is_heappush = (
                 (isinstance(func, ast.Name)
                  and func.id in self.heappush_names)

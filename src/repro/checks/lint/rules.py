@@ -171,4 +171,27 @@ HOT_PATH_MANIFEST: FrozenSet[str] = frozenset({
     "repro.core.pmc.ConcurrencyMonitor._base_end",
     "repro.core.pmc.ConcurrencyMonitor.on_miss_start",
     "repro.core.pmc.ConcurrencyMonitor.on_miss_end",
+    # Batched backend (DESIGN.md §13) — same per-event discipline.
+    "repro.sim.batched.engine.EpochEngine.post",
+    "repro.sim.batched.engine.EpochEngine.step",
+    "repro.sim.batched.engine.EpochEngine._run_fast",
+    "repro.sim.batched.engine.EpochEngine._run_watched",
+    "repro.sim.batched.engine.EpochEngine._run_general",
+    "repro.sim.batched.cache.BatchedCache.access",
+    "repro.sim.batched.cache.BatchedCache._lookup",
+    "repro.sim.batched.cache.BatchedCache._start_miss",
+    "repro.sim.batched.cache.BatchedCache._fill_from_child",
+    "repro.sim.batched.cache.BatchedCache._install",
+    "repro.sim.batched.cache.BatchedCache._retry_pending",
+    "repro.sim.batched.cache.BatchedCache._issue_prefetch",
+    "repro.sim.batched.cpu.BatchedCore._dispatch",
+    "repro.sim.batched.cpu.BatchedCore._complete_cb",
+})
+
+#: Modules allowed to touch the raw event queue (SS204): each registered
+#: engine backend owns its queue structure; everything else must
+#: schedule through the engine's public post/at/after API.
+ENGINE_MODULES: FrozenSet[str] = frozenset({
+    "repro.sim.engine",
+    "repro.sim.batched.engine",
 })

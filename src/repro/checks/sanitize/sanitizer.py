@@ -149,10 +149,12 @@ class Sanitizer:
                 SAN_TIME, f"engine time moved backwards: "
                           f"{self._last_now} -> {now}")
         self._last_now = now
-        heap = self.engine._heap
-        if heap and heap[0][0] < now:
+        # Engine-backend API (works for the classic heap and the batched
+        # calendar queue alike): earliest queued timestamp, or None.
+        head = self.engine.next_event_time()
+        if head is not None and head < now:
             raise SanitizerError(
-                SAN_TIME, f"event queued in the past: t={heap[0][0]} "
+                SAN_TIME, f"event queued in the past: t={head} "
                           f"< now={now}")
 
     # -- SAN-TAG --------------------------------------------------------

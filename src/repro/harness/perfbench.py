@@ -28,10 +28,11 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
-from ..sim.system import System
+from ..sim.backends import build_system, resolve_engine
 from .spec import ExperimentSpec
 
-SCHEMA_VERSION = 1
+#: v2: payloads and cases record the engine backend that produced them.
+SCHEMA_VERSION = 2
 
 #: Default output file, written into the current directory.
 DEFAULT_OUTPUT = "BENCH_perf.json"
@@ -52,13 +53,14 @@ PERF_CASES: Dict[str, ExperimentSpec] = {
 SMOKE_RECORDS = 400
 
 
-def _build_system(spec: ExperimentSpec, traces: List[Sequence]) -> System:
+def _build_system(spec: ExperimentSpec, traces: List[Sequence]):
     """The machine :meth:`ExperimentSpec.execute` would build."""
     n = min(len(t) for t in traces)
-    return System(spec.build_config(), traces, llc_policy=spec.policy,
-                  prefetch=spec.prefetch, seed=spec.seed,
-                  measure_records=n // 2, warmup_records=n // 2,
-                  collect_deltas=spec.collect_deltas)
+    return build_system(spec.build_config(), traces, engine=spec.engine,
+                        llc_policy=spec.policy,
+                        prefetch=spec.prefetch, seed=spec.seed,
+                        measure_records=n // 2, warmup_records=n // 2,
+                        collect_deltas=spec.collect_deltas)
 
 
 def run_case(spec: ExperimentSpec, repeat: int = 3) -> Dict:
@@ -83,6 +85,7 @@ def run_case(spec: ExperimentSpec, repeat: int = 3) -> Dict:
     best = min(walls)
     return {
         "spec": spec.to_dict(),
+        "engine": spec.engine,
         "repeat": repeat,
         "wall_s": [round(w, 6) for w in walls],
         "best_wall_s": round(best, 6),
@@ -95,16 +98,24 @@ def run_case(spec: ExperimentSpec, repeat: int = 3) -> Dict:
 
 def run_suite(cases: Optional[Sequence[str]] = None, repeat: int = 3,
               smoke: bool = False,
-              progress: bool = False) -> Dict:
-    """Run the named cases (default: all) and assemble the JSON payload."""
+              progress: bool = False,
+              engine: Optional[str] = None) -> Dict:
+    """Run the named cases (default: all) and assemble the JSON payload.
+
+    ``engine`` selects the backend to benchmark (``REPRO_ENGINE``
+    overrides, then ``--engine``/this argument, else ``classic``) —
+    backends are bit-identical, so per-case records/events match across
+    engines and only the wall clock moves.
+    """
     names = list(cases) if cases else sorted(PERF_CASES)
     unknown = [n for n in names if n not in PERF_CASES]
     if unknown:
         raise KeyError(f"unknown perf cases {unknown}; "
                        f"available: {sorted(PERF_CASES)}")
+    engine = resolve_engine(engine)
     results: Dict[str, Dict] = {}
     for name in names:
-        spec = PERF_CASES[name]
+        spec = replace(PERF_CASES[name], engine=engine)
         if smoke:
             spec = replace(spec, n_records=SMOKE_RECORDS)
         if progress:
@@ -126,6 +137,7 @@ def run_suite(cases: Optional[Sequence[str]] = None, repeat: int = 3,
         "platform": platform.platform(),
         "fingerprint": code_fingerprint()[:16],
         "smoke": smoke,
+        "engine": engine,
         "cases": results,
     }
 
@@ -145,10 +157,15 @@ def diff_payloads(base: Dict, fresh: Dict) -> str:
     ``n/a``; a smoke/full or fingerprint mismatch is called out under the
     table because records/s values are then not directly comparable.
     """
+    b_engine = base.get("engine", "classic")
+    f_engine = fresh.get("engine", "classic")
+    cross_engine = b_engine != f_engine
+    speedup_head = (f" {b_engine}→{f_engine} ×" if cross_engine
+                    else " ev/s ×")
     lines = [
         "| case | base rec/s | fresh rec/s | Δ rec/s | base ev/s "
-        "| fresh ev/s |",
-        "|---|---:|---:|---:|---:|---:|",
+        f"| fresh ev/s |{speedup_head} |",
+        "|---|---:|---:|---:|---:|---:|---:|",
     ]
     names = sorted(set(base.get("cases", {})) | set(fresh.get("cases", {})))
     for name in names:
@@ -159,15 +176,21 @@ def diff_payloads(base: Dict, fresh: Dict) -> str:
                      "n/a" if f is None else f"{f['records_per_s']:,.0f}",
                      "n/a",
                      "n/a" if b is None else f"{b['events_per_s']:,.0f}",
-                     "n/a" if f is None else f"{f['events_per_s']:,.0f}"]
+                     "n/a" if f is None else f"{f['events_per_s']:,.0f}",
+                     "n/a"]
         else:
             b_rec, f_rec = b["records_per_s"], f["records_per_s"]
             delta = (f_rec - b_rec) / b_rec * 100 if b_rec else 0.0
+            b_ev, f_ev = b["events_per_s"], f["events_per_s"]
+            ratio = f_ev / b_ev if b_ev else 0.0
             cells = [f"{b_rec:,.0f}", f"{f_rec:,.0f}", f"{delta:+.1f}%",
-                     f"{b['events_per_s']:,.0f}",
-                     f"{f['events_per_s']:,.0f}"]
+                     f"{b_ev:,.0f}", f"{f_ev:,.0f}", f"{ratio:.2f}x"]
         lines.append("| " + " | ".join([name] + cells) + " |")
     notes = []
+    if cross_engine:
+        notes.append(f"cross-engine comparison: base={b_engine}, "
+                     f"fresh={f_engine} (backends are bit-identical; the "
+                     "× column is the engine speedup)")
     if base.get("smoke") != fresh.get("smoke"):
         notes.append("payloads mix smoke and full-size traces — absolute "
                      "numbers are not comparable")
@@ -200,6 +223,7 @@ def format_payload(payload: Dict) -> str:
     header = ["case", "records", "events", "best wall (s)",
               "records/s", "events/s"]
     title = (f"simulation-kernel throughput (python {payload['python']}, "
+             f"engine {payload.get('engine', 'classic')}, "
              f"best of {next(iter(payload['cases'].values()))['repeat']}"
              f"{', smoke' if payload.get('smoke') else ''})")
     return title + "\n" + format_table(header, rows)

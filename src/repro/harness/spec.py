@@ -32,7 +32,10 @@ CONFIG_PRESETS = {
 }
 
 #: Bump when spec semantics change in a way that invalidates stored keys.
-SPEC_SCHEMA_VERSION = 1
+#: v2: ``engine`` backend name joined the spec (participates in the
+#: store fingerprint even though backends are bit-identical — a cached
+#: result records exactly which engine produced it).
+SPEC_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -49,6 +52,7 @@ class ExperimentSpec:
     collect_deltas: bool = False
     mix_id: Optional[int] = None  # set iff suite == "mix"
     preset: str = "default"       # CONFIG_PRESETS key
+    engine: str = "classic"       # repro.sim.backends name (bit-identical)
 
     def __post_init__(self) -> None:
         if self.suite == "mix":
@@ -67,6 +71,8 @@ class ExperimentSpec:
                 f"available: {sorted(CONFIG_PRESETS)}")
         if self.n_cores < 1 or self.n_records < 1:
             raise ValueError("n_cores and n_records must be >= 1")
+        if not self.engine or not isinstance(self.engine, str):
+            raise ValueError("engine must be a non-empty backend name")
 
     # -- constructors ---------------------------------------------------
     @classmethod
@@ -74,14 +80,16 @@ class ExperimentSpec:
                   prefetch: bool = True, suite: str = "spec",
                   n_records: Optional[int] = None, seed: int = 3,
                   collect_deltas: bool = False,
-                  preset: str = "default") -> "ExperimentSpec":
+                  preset: str = "default",
+                  engine: str = "classic") -> "ExperimentSpec":
         """Multi-copy workload point (Figs. 3, 7-9, 11-14, Tables X-XI)."""
         from .scale import get_scale
         return cls(workload=workload, policy=policy, n_cores=n_cores,
                    prefetch=prefetch, suite=suite,
                    n_records=(get_scale().records if n_records is None
                               else n_records),
-                   seed=seed, collect_deltas=collect_deltas, preset=preset)
+                   seed=seed, collect_deltas=collect_deltas, preset=preset,
+                   engine=engine)
 
     @classmethod
     def single(cls, workload: str, policy: str = "lru",
@@ -96,14 +104,14 @@ class ExperimentSpec:
     @classmethod
     def mix(cls, mix_id: int, policy: str, n_cores: int = 4,
             prefetch: bool = True, n_records: Optional[int] = None,
-            seed: int = 3) -> "ExperimentSpec":
+            seed: int = 3, engine: str = "classic") -> "ExperimentSpec":
         """Fig. 10 mixed-workload point."""
         from .scale import get_scale
         return cls(workload="", policy=policy, n_cores=n_cores,
                    prefetch=prefetch, suite="mix",
                    n_records=(get_scale().records if n_records is None
                               else n_records),
-                   seed=seed, mix_id=mix_id)
+                   seed=seed, mix_id=mix_id, engine=engine)
 
     # -- identity -------------------------------------------------------
     def to_dict(self) -> Dict:
@@ -161,8 +169,13 @@ class ExperimentSpec:
         it is resolved from ``REPRO_METRICS_INTERVAL`` / ``REPRO_TRACE`` /
         ``REPRO_OBS_DIR`` so pool workers inherit observability settings
         through the environment, mirroring ``REPRO_SANITIZE``.
+
+        The engine backend is ``self.engine`` unless ``REPRO_ENGINE``
+        overrides it (the CI cross-backend job re-executes fixture specs
+        under another backend this way; backends are bit-identical, so
+        the override cannot change the result).
         """
-        from ..sim.system import System
+        from ..sim.backends import build_system
         if obs is None:
             from ..obs.schema import obs_from_env
             obs = obs_from_env()
@@ -170,8 +183,9 @@ class ExperimentSpec:
             obs = obs.with_tag(self.label())
         traces = self.build_traces()
         n = min(len(t) for t in traces)
-        system = System(self.build_config(), traces, llc_policy=self.policy,
-                        prefetch=self.prefetch, seed=self.seed,
-                        measure_records=n // 2, warmup_records=n // 2,
-                        collect_deltas=self.collect_deltas, obs=obs)
+        system = build_system(self.build_config(), traces,
+                              engine=self.engine, llc_policy=self.policy,
+                              prefetch=self.prefetch, seed=self.seed,
+                              measure_records=n // 2, warmup_records=n // 2,
+                              collect_deltas=self.collect_deltas, obs=obs)
         return system.run()

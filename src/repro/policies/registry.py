@@ -52,8 +52,13 @@ def make_policy(name: str, sets: int, ways: int, seed: int = 0,
     ``n_cores`` for single-core-agnostic policies) are dropped, so the
     System can pass a uniform context to every scheme.  Dropping anything
     *outside* that uniform context (``CONTEXT_KWARGS``) is almost always a
-    misspelled scheme-parameter override, so it is logged once per
-    (policy, argument-set) combination instead of vanishing silently.
+    misspelled scheme-parameter override.
+
+    .. deprecated::
+        The silent-drop path for non-context kwargs is deprecated: it now
+        emits a :class:`DeprecationWarning` (once per (policy,
+        argument-set) combination) and will become a ``TypeError``.  Pass
+        only kwargs the policy accepts, or fix the spelling.
     """
     _ensure_loaded()
     try:
@@ -69,6 +74,13 @@ def make_policy(name: str, sets: int, ways: int, seed: int = 0,
         dropped = frozenset(kwargs) - set(params) - CONTEXT_KWARGS
         if dropped and (name, dropped) not in _warned_drops:
             _warned_drops.add((name, dropped))
+            import warnings
+            warnings.warn(
+                f"policy {name!r} does not accept constructor kwargs "
+                f"{sorted(dropped)}; relying on make_policy to drop them "
+                "is deprecated and will become a TypeError — remove or "
+                "fix the argument",
+                DeprecationWarning, stacklevel=2)
             log.warning(
                 "policy %r does not accept constructor kwargs %s; "
                 "they are ignored", name, sorted(dropped))

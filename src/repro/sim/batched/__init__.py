@@ -1,0 +1,27 @@
+"""Batched engine backend (DESIGN.md §13).
+
+``repro.sim.batched`` is the ``"batched"`` entry in the backend registry
+(:mod:`repro.sim.backends`): a drop-in replacement for the classic
+per-event heap simulator built around
+
+* :class:`~repro.sim.batched.engine.EpochEngine` — a calendar-queue event
+  engine that drains all events of one cycle in bulk instead of one heap
+  pop per event,
+* :class:`~repro.sim.batched.cache.BatchedCache` — struct-of-arrays tag
+  state (numpy) with fused lookup/fill paths and batched per-set
+  replacement-metadata updates for the LRU/SRRIP/CARE hot policies,
+* :class:`~repro.sim.batched.cpu.BatchedCore` — precomputed trace columns
+  and a struct-of-arrays ROB ring,
+* :class:`~repro.sim.batched.system.BatchedSystem` — the classic
+  :class:`~repro.sim.system.System` wiring with the fast parts swapped in.
+
+The backend is **bit-identical** to the classic engine: the golden
+fixtures under ``tests/golden/`` are regenerated and checked against both
+backends, and every fast path carries an equivalence argument in
+DESIGN.md §13.
+"""
+
+from .engine import EpochEngine
+from .system import BatchedSystem
+
+__all__ = ["EpochEngine", "BatchedSystem"]

@@ -1,0 +1,150 @@
+"""Struct-of-arrays state for the batched backend.
+
+Three SoA stores live here (DESIGN.md §13):
+
+* :class:`SoATagArrays` — the cache tag store as flat numpy arrays, one
+  per :class:`~repro.sim.cache.CacheBlock` field, indexed by
+  ``set_idx * ways + way``.  The batched cache mutates these directly on
+  its fused paths; :meth:`materialize` rebuilds classic ``CacheBlock``
+  rows on demand for introspection (sanitizer, tests).
+* :class:`SoAMSHR` — the classic MSHR with numpy slot views *derived on
+  demand* from the entry dict, giving vectorized occupancy queries
+  without per-miss array maintenance.  The
+  :class:`~repro.sim.mshr.MSHREntry` objects are kept: the concurrency
+  monitor tracks entries by identity and the waiter/merge protocol
+  hangs off them.
+* :class:`TraceColumns` — a core's trace decomposed into per-field numpy
+  columns plus plain-list decode caches for the scalar dispatch loop
+  (CPython indexes a list several times faster than a numpy scalar; the
+  arrays are the storage of record and feed the batched ROB ring).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..cache import CacheBlock
+from ..mshr import MSHR
+from ..request import AccessType
+
+
+class SoATagArrays:
+    """Flat struct-of-arrays tag store for one cache level."""
+
+    __slots__ = ("sets", "ways", "valid", "tag", "dirty", "prefetch",
+                 "core", "pc")
+
+    def __init__(self, sets: int, ways: int) -> None:
+        self.sets = sets
+        self.ways = ways
+        n = sets * ways
+        self.valid = np.zeros(n, dtype=np.uint8)
+        self.tag = np.full(n, -1, dtype=np.int64)
+        self.dirty = np.zeros(n, dtype=np.uint8)
+        self.prefetch = np.zeros(n, dtype=np.uint8)
+        self.core = np.full(n, -1, dtype=np.int64)
+        self.pc = np.zeros(n, dtype=np.int64)
+
+    def valid_blocks(self) -> int:
+        return int(self.valid.sum())
+
+    def materialize_set(self, set_idx: int) -> List[CacheBlock]:
+        """Classic ``CacheBlock`` snapshot of one set (introspection)."""
+        base = set_idx * self.ways
+        item = self.valid.item
+        blocks = []
+        for way in range(self.ways):
+            fi = base + way
+            blk = CacheBlock()
+            blk.valid = bool(item(fi))
+            blk.tag = self.tag.item(fi)
+            blk.dirty = bool(self.dirty.item(fi))
+            blk.prefetch = bool(self.prefetch.item(fi))
+            blk.core = self.core.item(fi)
+            blk.pc = self.pc.item(fi)
+            blocks.append(blk)
+        return blocks
+
+    def materialize(self) -> List[List[CacheBlock]]:
+        """Snapshot of the whole array as classic per-set block lists."""
+        return [self.materialize_set(s) for s in range(self.sets)]
+
+    def set_tags(self, set_idx: int) -> List[int]:
+        """Valid tags of one set, in way order (tests/assertions)."""
+        base = set_idx * self.ways
+        v = self.valid[base:base + self.ways]
+        t = self.tag[base:base + self.ways]
+        return [int(x) for x in t[v != 0]]
+
+
+class SoAMSHR(MSHR):
+    """MSHR file whose numpy slot views are *derived*, not maintained.
+
+    An early iteration kept parallel ``slot_*`` arrays updated inline on
+    every allocate/free, but profiling showed the per-miss numpy scalar
+    writes (~70ns each, x5 per miss, both directions) cost far more than
+    they saved — occupancy queries are off the per-event path.  The hot
+    allocate/free paths therefore touch only the inherited entry dict;
+    :meth:`slot_view` rebuilds the column arrays from ``_entries`` when
+    a vectorized consumer actually asks.
+    """
+
+    __slots__ = ()
+
+    def slot_view(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """``(block, core, issue_time)`` int64 columns over live entries.
+
+        Rows are in entry-dict insertion order (allocation order among
+        currently outstanding misses).
+        """
+        entries = list(self._entries.values())
+        n = len(entries)
+        block = np.fromiter((e.block for e in entries), dtype=np.int64,
+                            count=n)
+        core = np.fromiter((e.core for e in entries), dtype=np.int64,
+                           count=n)
+        issue = np.fromiter((e.issue_time for e in entries),
+                            dtype=np.int64, count=n)
+        return block, core, issue
+
+    def outstanding_for_core(self, core: int) -> int:
+        _, cores, _ = self.slot_view()
+        return int((cores == core).sum())
+
+    def occupied_slots(self) -> int:
+        return len(self._entries)
+
+
+class TraceColumns:
+    """One core's trace as numpy columns + scalar decode caches."""
+
+    __slots__ = ("n", "pc", "addr", "slots", "is_write", "dep",
+                 "pc_l", "addr_l", "slots_l", "dep_l", "rtype_l",
+                 "slotw_l")
+
+    def __init__(self, records: Sequence, issue_width: int) -> None:
+        self.n = n = len(records)
+        self.pc = np.fromiter((r.pc for r in records), dtype=np.int64,
+                              count=n)
+        self.addr = np.fromiter((r.addr for r in records), dtype=np.int64,
+                                count=n)
+        # a record occupies gap+1 ROB slots (its gap compute instructions
+        # plus the access itself)
+        self.slots = np.fromiter((r.gap + 1 for r in records),
+                                 dtype=np.int64, count=n)
+        self.is_write = np.fromiter((r.is_write for r in records),
+                                    dtype=np.uint8, count=n)
+        self.dep = np.fromiter((r.dep for r in records), dtype=np.uint8,
+                               count=n)
+        # Decode caches for the dispatch loop: plain lists index ~5x
+        # faster than numpy scalars in CPython, and the rtype/slot-width
+        # values are precomputed once instead of per dispatch.
+        self.pc_l = self.pc.tolist()
+        self.addr_l = self.addr.tolist()
+        self.slots_l = self.slots.tolist()
+        self.dep_l = self.dep.tolist()
+        rfo, load = AccessType.RFO, AccessType.LOAD
+        self.rtype_l = [rfo if w else load for w in self.is_write.tolist()]
+        self.slotw_l = [s / issue_width for s in self.slots_l]

@@ -1,0 +1,45 @@
+"""Batched system: classic topology with the fast components swapped in.
+
+:class:`BatchedSystem` reuses every piece of shared machinery from
+:class:`~repro.sim.system.System` — the hierarchy wiring, the PMC
+concurrency monitor, warmup/finish bookkeeping, sanitizer and observer
+attachment, result assembly — and overrides only the component-class
+hooks.  The memory side (DRAM / memory controller) is deliberately *not*
+swapped: it schedules through the engine's public API and is cold
+relative to the cache levels.
+
+``run()`` additionally disables the garbage collector for the duration
+of the drain: the simulator allocates requests/entries in arena-like
+bursts with no reference cycles on the hot path, so collector pauses are
+pure overhead.  The previous GC state is restored on exit.
+"""
+
+from __future__ import annotations
+
+import gc
+
+from .cache import BatchedCache
+from .cpu import BatchedCore
+from .engine import EpochEngine
+from ..stats import SimResult
+from ..system import System
+
+
+class BatchedSystem(System):
+    """Classic wiring over the calendar engine + SoA cache/core."""
+
+    __slots__ = ()
+
+    engine_cls = EpochEngine
+    cache_cls = BatchedCache
+    core_cls = BatchedCore
+
+    def run(self) -> SimResult:
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            return super().run()
+        finally:
+            if was_enabled:
+                gc.enable()

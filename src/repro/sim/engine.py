@@ -148,6 +148,16 @@ class Engine:
         """Number of events still queued."""
         return len(self._heap)
 
+    def next_event_time(self) -> Optional[int]:
+        """Timestamp of the earliest queued event (``None`` when empty).
+
+        Part of the engine-backend API (DESIGN.md §13): observers such as
+        the sanitizer use this instead of reaching into the heap, so it
+        works identically against the classic heap and the batched
+        calendar queue.
+        """
+        return self._heap[0][0] if self._heap else None
+
     def step(self) -> bool:
         """Process one event.  Returns ``False`` when the heap is empty."""
         if not self._heap:

@@ -36,12 +36,22 @@ _CORE_STAGGER = 17
 
 
 class System:
-    """One simulated machine ready to :meth:`run`."""
+    """One simulated machine ready to :meth:`run`.
+
+    Subclass hook: backends (DESIGN.md §13) swap the component classes
+    below — the wiring in ``__init__`` is shared, so a backend only
+    provides faster parts, never different topology.
+    """
 
     __slots__ = ("cfg", "prefetch", "max_events", "engine", "dram",
                  "llc_policy", "monitor", "llc", "l1s", "l2s", "cores",
                  "_finished", "_warm", "warmup_records", "sanitize",
                  "sanitizer", "obs", "sampler", "tracer")
+
+    #: component classes; backend subclasses override these
+    engine_cls = Engine
+    cache_cls = Cache
+    core_cls = Core
 
     def __init__(self, cfg: SystemConfig, traces: Sequence[Sequence],
                  llc_policy: Union[str, PolicyFactory] = "lru",
@@ -68,7 +78,7 @@ class System:
         self.obs = obs
         self.sampler: Optional[Any] = None
         self.tracer: Optional[Any] = None
-        self.engine = Engine()
+        self.engine = self.engine_cls()
 
         # Memory side ------------------------------------------------------
         from .memctrl import make_memory
@@ -81,9 +91,9 @@ class System:
         self.monitor = ConcurrencyMonitor(
             self.engine, cfg.n_cores, llc_cfg.latency,
             collect_deltas=collect_deltas)
-        self.llc = Cache(llc_cfg, self.engine, self.llc_policy,
-                         lower=self.dram, monitor=self.monitor,
-                         inclusive=cfg.llc_inclusive)
+        self.llc = self.cache_cls(llc_cfg, self.engine, self.llc_policy,
+                                  lower=self.dram, monitor=self.monitor,
+                                  inclusive=cfg.llc_inclusive)
 
         # Private levels and cores ------------------------------------------
         self.l1s: List[Cache] = []
@@ -101,19 +111,20 @@ class System:
         for core_id in range(cfg.n_cores):
             l2_pf = IPStridePrefetcher() if prefetch else None
             l1_pf = NextLinePrefetcher() if prefetch else None
-            l2 = Cache(self._named(cfg.l2, core_id), self.engine,
-                       LRUPolicy(cfg.l2.sets, cfg.l2.ways, seed),
-                       lower=self.llc, prefetcher=l2_pf)
-            l1 = Cache(self._named(cfg.l1, core_id), self.engine,
-                       LRUPolicy(cfg.l1.sets, cfg.l1.ways, seed),
-                       lower=l2, prefetcher=l1_pf)
-            core = Core(core_id, self.engine, l1, traces[core_id], cfg.core,
-                        measure_records=measure_records,
-                        warmup_records=warmup_records,
-                        replay=True,
-                        start_offset=core_id * _CORE_STAGGER,
-                        on_finish=self._core_finished,
-                        on_warm=self._core_warm)
+            l2 = self.cache_cls(self._named(cfg.l2, core_id), self.engine,
+                                LRUPolicy(cfg.l2.sets, cfg.l2.ways, seed),
+                                lower=self.llc, prefetcher=l2_pf)
+            l1 = self.cache_cls(self._named(cfg.l1, core_id), self.engine,
+                                LRUPolicy(cfg.l1.sets, cfg.l1.ways, seed),
+                                lower=l2, prefetcher=l1_pf)
+            core = self.core_cls(core_id, self.engine, l1, traces[core_id],
+                                 cfg.core,
+                                 measure_records=measure_records,
+                                 warmup_records=warmup_records,
+                                 replay=True,
+                                 start_offset=core_id * _CORE_STAGGER,
+                                 on_finish=self._core_finished,
+                                 on_warm=self._core_warm)
             self.l1s.append(l1)
             self.l2s.append(l2)
             self.cores.append(core)
@@ -246,18 +257,59 @@ class System:
         )
 
 
-def simulate(traces: Sequence[Sequence], cfg: Optional[SystemConfig] = None,
-             llc_policy: Union[str, PolicyFactory] = "lru",
-             prefetch: bool = False, seed: int = 0,
-             measure_records: Optional[int] = None,
-             warmup_records: Optional[int] = None,
-             collect_deltas: bool = False,
-             obs: Optional["ObsConfig"] = None) -> SimResult:
-    """One-call convenience wrapper: build a :class:`System` and run it."""
+#: Historical positional order of ``simulate()``'s optional parameters;
+#: used only by the deprecation shim below.
+_SIMULATE_KEYWORDS = ("cfg", "llc_policy", "prefetch", "seed",
+                      "measure_records", "warmup_records",
+                      "collect_deltas", "obs")
+
+
+def simulate(traces: Sequence[Sequence], *args: Any, **kwargs: Any) -> SimResult:
+    """One-call convenience wrapper: build a system and run it.
+
+    Keyword parameters: ``cfg``, ``llc_policy``, ``prefetch``, ``seed``,
+    ``measure_records``, ``warmup_records``, ``collect_deltas``, ``obs``,
+    and ``engine`` (a :mod:`repro.sim.backends` name; default resolves
+    ``REPRO_ENGINE`` -> ``cfg.engine`` -> ``"classic"``).
+
+    .. deprecated::
+        Passing the optional parameters positionally (``simulate(traces,
+        cfg, "lru", ...)``) is deprecated; use keywords.  The positional
+        form never covered ``engine`` and will be removed.
+    """
+    if args:
+        import warnings
+        warnings.warn(
+            "positional arguments to simulate() after `traces` are "
+            "deprecated; pass them as keywords (cfg=..., llc_policy=..., "
+            "prefetch=..., ...)",
+            DeprecationWarning, stacklevel=2)
+        if len(args) > len(_SIMULATE_KEYWORDS):
+            raise TypeError(
+                f"simulate() takes at most {1 + len(_SIMULATE_KEYWORDS)} "
+                f"positional arguments ({1 + len(args)} given)")
+        for name, value in zip(_SIMULATE_KEYWORDS, args):
+            if name in kwargs:
+                raise TypeError(
+                    f"simulate() got multiple values for argument {name!r}")
+            kwargs[name] = value
+    return _simulate(traces, **kwargs)
+
+
+def _simulate(traces: Sequence[Sequence], cfg: Optional[SystemConfig] = None,
+              llc_policy: Union[str, PolicyFactory] = "lru",
+              prefetch: bool = False, seed: int = 0,
+              measure_records: Optional[int] = None,
+              warmup_records: Optional[int] = None,
+              collect_deltas: bool = False,
+              obs: Optional["ObsConfig"] = None,
+              engine: Optional[str] = None) -> SimResult:
     if cfg is None:
         cfg = SystemConfig.default(n_cores=len(traces))
-    system = System(cfg, traces, llc_policy=llc_policy, prefetch=prefetch,
-                    seed=seed, measure_records=measure_records,
-                    warmup_records=warmup_records,
-                    collect_deltas=collect_deltas, obs=obs)
+    from .backends import build_system
+    system = build_system(cfg, traces, engine=engine,
+                          llc_policy=llc_policy, prefetch=prefetch,
+                          seed=seed, measure_records=measure_records,
+                          warmup_records=warmup_records,
+                          collect_deltas=collect_deltas, obs=obs)
     return system.run()

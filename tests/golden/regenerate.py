@@ -28,7 +28,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent.parent / "src"))
 
 from repro.checks.sanitize import SanitizerError, sanitize_interval  # noqa: E402
 from repro.harness.spec import ExperimentSpec  # noqa: E402
-from repro.sim.system import System  # noqa: E402
+from repro.sim.backends import build_system, resolve_engine  # noqa: E402
 
 GOLDEN_DIR = Path(__file__).resolve().parent
 
@@ -56,13 +56,21 @@ GOLDEN_SPECS = {
 
 
 def execute_sanitized(spec: ExperimentSpec):
-    """``spec.execute()`` with the runtime sanitizer force-enabled."""
+    """``spec.execute()`` with the runtime sanitizer force-enabled.
+
+    Routed through :func:`repro.sim.backends.build_system` so the CI
+    cross-backend job can replay every fixture spec under another engine
+    via ``REPRO_ENGINE`` (bit-identity means the fixture bytes must not
+    change).  The fixture *identity* always stays the spec as stored.
+    """
     traces = spec.build_traces()
     n = min(len(t) for t in traces)
-    system = System(spec.build_config(), traces, llc_policy=spec.policy,
-                    prefetch=spec.prefetch, seed=spec.seed,
-                    measure_records=n // 2, warmup_records=n // 2,
-                    collect_deltas=spec.collect_deltas, sanitize=True)
+    system = build_system(spec.build_config(), traces,
+                          engine=spec.engine,
+                          llc_policy=spec.policy,
+                          prefetch=spec.prefetch, seed=spec.seed,
+                          measure_records=n // 2, warmup_records=n // 2,
+                          collect_deltas=spec.collect_deltas, sanitize=True)
     result = system.run()
     return result, system.sanitizer
 
@@ -82,7 +90,8 @@ def main(argv=None) -> int:
             return 1
         payloads[name] = {"name": name, "spec": spec.to_dict(),
                           "result": result.to_dict()}
-        print(f"ran {name}: cycles={result.sim_cycles} "
+        print(f"ran {name} [engine={resolve_engine(spec.engine)}]: "
+              f"cycles={result.sim_cycles} "
               f"events={result.events} sanitizer_sweeps="
               f"{sanitizer.checks_run} (interval {sanitize_interval()})")
 

@@ -14,6 +14,7 @@ Regenerate (only after an intentional model change) with::
 
 import difflib
 import json
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -23,46 +24,57 @@ from repro.harness.spec import ExperimentSpec
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 FIXTURES = sorted(GOLDEN_DIR.glob("*.json"))
 
+#: Every registered engine backend must reproduce every fixture byte for
+#: byte — the batched backend's whole contract is bit-identity.
+ENGINES = ("classic", "batched")
+
 
 def _canonical(payload) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("path", FIXTURES, ids=[p.stem for p in FIXTURES])
-def test_result_is_bit_identical_to_golden_fixture(path):
+def test_result_is_bit_identical_to_golden_fixture(path, engine):
     raw = path.read_text()
     stored = json.loads(raw)
     spec = ExperimentSpec.from_dict(stored["spec"])
-    result = spec.execute()
+    result = replace(spec, engine=engine).execute()
+    # The fixture's identity is the spec *as stored* (engine is a pure
+    # throughput knob, not part of the experiment's identity).
     got = _canonical({"name": stored["name"], "spec": spec.to_dict(),
                       "result": result.to_dict()})
     if got != raw:
         diff = "\n".join(difflib.unified_diff(
             _canonical(stored).splitlines(),
             got.splitlines(),
-            fromfile=f"golden/{path.name}", tofile="current", lineterm=""))
+            fromfile=f"golden/{path.name}", tofile=f"current[{engine}]",
+            lineterm=""))
         pytest.fail(
-            f"simulation result drifted from golden fixture {path.name};\n"
+            f"simulation result drifted from golden fixture {path.name} "
+            f"under engine={engine};\n"
             f"if the behaviour change is intentional, regenerate with "
             f"'PYTHONPATH=src python tests/golden/regenerate.py'\n{diff}")
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("path", FIXTURES, ids=[p.stem for p in FIXTURES])
-def test_result_is_bit_identical_with_observers_attached(path):
+def test_result_is_bit_identical_with_observers_attached(path, engine):
     """Tracing + metrics sampling must never perturb simulation results.
 
     Every golden fixture re-runs with the event tracer and the interval
     metrics sampler both enabled; the result must stay byte-identical to
-    the fixture produced without observers.
+    the fixture produced without observers — on every backend.
     """
     from repro.obs import ObsConfig
 
     stored = json.loads(path.read_text())
-    spec = ExperimentSpec.from_dict(stored["spec"])
+    spec = replace(ExperimentSpec.from_dict(stored["spec"]), engine=engine)
     obs = ObsConfig(metrics_interval=2_000, trace=True, trace_sample=1)
     result = spec.execute(obs=obs)
     assert _canonical(result.to_dict()) == _canonical(stored["result"]), (
-        f"observers perturbed the simulation for {path.name}")
+        f"observers perturbed the simulation for {path.name} "
+        f"under engine={engine}")
 
 
 def test_fixture_coverage():

@@ -21,18 +21,25 @@ from repro.checks.sanitize import (ALL_INVARIANTS, SAN_INCL, SAN_MSHR,
                                    attach_sanitizer, sanitize_enabled,
                                    sanitize_interval)
 from repro.sim import SystemConfig
+from repro.sim.backends import build_system
 from repro.sim.mshr import MSHREntry
 from repro.sim.request import AccessType, MemRequest
-from repro.sim.system import System
 
 
-def partial_system(small_trace, inclusive=False, max_events=4000):
+@pytest.fixture(params=["classic", "batched"])
+def engine_name(request):
+    """Every fault-injection scenario must trip on every backend."""
+    return request.param
+
+
+def partial_system(small_trace, engine="classic", inclusive=False,
+                   max_events=4000):
     """A system stopped mid-flight with real traffic in every structure."""
     cfg = SystemConfig.tiny(1)
     if inclusive:
         cfg = replace(cfg, llc_inclusive=True)
-    system = System(cfg, [small_trace.records], llc_policy="lru",
-                    warmup_records=0)
+    system = build_system(cfg, [small_trace.records], engine=engine,
+                          llc_policy="lru", warmup_records=0)
     for core in system.cores:
         core.start()
     system.engine.run(max_events=max_events)
@@ -50,8 +57,8 @@ def expect_trip(system, rule):
 # ----------------------------------------------------------------------
 # Baseline: a healthy mid-flight system sweeps clean
 # ----------------------------------------------------------------------
-def test_healthy_system_passes_all_invariants(small_trace):
-    system = partial_system(small_trace)
+def test_healthy_system_passes_all_invariants(small_trace, engine_name):
+    system = partial_system(small_trace, engine_name)
     san = Sanitizer(system)
     san.check()
     assert san.checks_run == 1
@@ -61,17 +68,27 @@ def test_healthy_system_passes_all_invariants(small_trace):
 # ----------------------------------------------------------------------
 # SAN-TIME — event-time monotonicity
 # ----------------------------------------------------------------------
-def test_event_scheduled_in_the_past_trips_san_time(small_trace):
-    system = partial_system(small_trace)
+def _schedule_in_the_past(engine):
+    """Inject an event before ``now`` into whichever queue the engine has."""
+    t = engine.now - 1
+    if hasattr(engine, "_buckets"):     # calendar queue (batched)
+        engine._buckets.setdefault(t, []).append((lambda: None, ()))
+        heappush(engine._times, t)
+    else:                               # classic heap
+        heappush(engine._heap,  # simsan: skip=SS204 (deliberate fault injection)
+                 (t, -1, lambda: None, ()))
+
+
+def test_event_scheduled_in_the_past_trips_san_time(small_trace, engine_name):
+    system = partial_system(small_trace, engine_name)
     engine = system.engine
     assert engine.now > 1
-    heappush(engine._heap,  # simsan: skip=SS204 (deliberate fault injection)
-             (engine.now - 1, -1, lambda: None, ()))
+    _schedule_in_the_past(engine)
     expect_trip(system, SAN_TIME)
 
 
-def test_backwards_engine_time_trips_san_time(small_trace):
-    system = partial_system(small_trace)
+def test_backwards_engine_time_trips_san_time(small_trace, engine_name):
+    system = partial_system(small_trace, engine_name)
     san = Sanitizer(system)
     san.check()                      # records _last_now
     system.engine.now -= 2           # a bug rewinds the clock
@@ -90,8 +107,8 @@ def _populated_set(cache):
     pytest.fail(f"{cache.name} has no valid blocks after the partial run")
 
 
-def test_corrupt_tag_index_mapping_trips_san_tag(small_trace):
-    system = partial_system(small_trace)
+def test_corrupt_tag_index_mapping_trips_san_tag(small_trace, engine_name):
+    system = partial_system(small_trace, engine_name)
     llc = system.llc
     set_idx = _populated_set(llc)
     tag, way = next(iter(llc._tag2way[set_idx].items()))
@@ -99,8 +116,8 @@ def test_corrupt_tag_index_mapping_trips_san_tag(small_trace):
     expect_trip(system, SAN_TAG)
 
 
-def test_corrupt_valid_count_trips_san_tag(small_trace):
-    system = partial_system(small_trace)
+def test_corrupt_valid_count_trips_san_tag(small_trace, engine_name):
+    system = partial_system(small_trace, engine_name)
     llc = system.llc
     set_idx = _populated_set(llc)
     llc._valid_count[set_idx] += 1
@@ -116,8 +133,8 @@ def _fake_entry(system, issue_time, block=0x7FFF00):
     return MSHREntry(block, req, issue_time, core=0)
 
 
-def test_leaked_mshr_entry_trips_san_mshr(small_trace):
-    system = partial_system(small_trace)
+def test_leaked_mshr_entry_trips_san_mshr(small_trace, engine_name):
+    system = partial_system(small_trace, engine_name)
     now = system.engine.now
     san = Sanitizer(system)
     stale = _fake_entry(system, issue_time=now - san.mshr_age_limit - 1)
@@ -128,8 +145,8 @@ def test_leaked_mshr_entry_trips_san_mshr(small_trace):
     assert "leak" in str(exc_info.value)
 
 
-def test_misfiled_mshr_entry_trips_san_mshr(small_trace):
-    system = partial_system(small_trace)
+def test_misfiled_mshr_entry_trips_san_mshr(small_trace, engine_name):
+    system = partial_system(small_trace, engine_name)
     entry = _fake_entry(system, issue_time=system.engine.now)
     system.llc.mshr._entries[entry.block + 1] = entry   # wrong key
     expect_trip(system, SAN_MSHR)
@@ -138,16 +155,16 @@ def test_misfiled_mshr_entry_trips_san_mshr(small_trace):
 # ----------------------------------------------------------------------
 # SAN-WAITER — lost / foreign / double-responded waiters
 # ----------------------------------------------------------------------
-def test_lost_waiters_trip_san_waiter(small_trace):
-    system = partial_system(small_trace)
+def test_lost_waiters_trip_san_waiter(small_trace, engine_name):
+    system = partial_system(small_trace, engine_name)
     entry = _fake_entry(system, issue_time=system.engine.now)
     system.llc.mshr._entries[entry.block] = entry
     entry.waiters.clear()            # fill path dropped everyone
     expect_trip(system, SAN_WAITER)
 
 
-def test_double_responded_waiter_trips_san_waiter(small_trace):
-    system = partial_system(small_trace)
+def test_double_responded_waiter_trips_san_waiter(small_trace, engine_name):
+    system = partial_system(small_trace, engine_name)
     entry = _fake_entry(system, issue_time=system.engine.now)
     system.llc.mshr._entries[entry.block] = entry
     entry.waiters[0].completed = system.engine.now - 1   # already answered
@@ -157,15 +174,15 @@ def test_double_responded_waiter_trips_san_waiter(small_trace):
 # ----------------------------------------------------------------------
 # SAN-PMC — per-core cycle conservation
 # ----------------------------------------------------------------------
-def test_overaccounted_pure_miss_cycles_trip_san_pmc(small_trace):
-    system = partial_system(small_trace)
+def test_overaccounted_pure_miss_cycles_trip_san_pmc(small_trace, engine_name):
+    system = partial_system(small_trace, engine_name)
     mon = system.monitor._cores[0]
     mon.stats.pure_miss_cycles = float(system.engine.now + 10_000)
     expect_trip(system, SAN_PMC)
 
 
-def test_histogram_mass_mismatch_trips_san_pmc(small_trace):
-    system = partial_system(small_trace)
+def test_histogram_mass_mismatch_trips_san_pmc(small_trace, engine_name):
+    system = partial_system(small_trace, engine_name)
     mon = system.monitor._cores[0]
     assert mon.stats.misses > 0
     mon.stats.misses += 3            # misses counted but never binned
@@ -175,21 +192,40 @@ def test_histogram_mass_mismatch_trips_san_pmc(small_trace):
 # ----------------------------------------------------------------------
 # SAN-INCL — inclusion holes
 # ----------------------------------------------------------------------
-def test_inclusion_hole_trips_san_incl(small_trace):
-    system = partial_system(small_trace, inclusive=True)
+def _raw_install(cache, set_idx, tag):
+    """Hand-install ``(set_idx, tag)`` with the tag index and valid count
+    kept consistent, whatever the cache's storage layout."""
+    soa = getattr(cache, "soa", None)
+    if soa is not None:                 # batched: flat SoA arrays
+        base = set_idx * cache._ways
+        way = next(w for w in range(cache._ways)
+                   if not soa.valid.item(base + w)
+                   or soa.tag.item(base + w) != tag)
+        if soa.valid.item(base + way):
+            del cache._tag2way[set_idx][int(soa.tag.item(base + way))]
+        else:
+            cache._valid_count[set_idx] += 1
+        soa.valid[base + way] = 1
+        soa.tag[base + way] = tag
+    else:                               # classic: CacheBlock objects
+        way = next(w for w, blk in enumerate(cache._sets[set_idx])
+                   if not blk.valid or blk.tag != tag)
+        blk = cache._sets[set_idx][way]
+        if blk.valid:
+            del cache._tag2way[set_idx][blk.tag]
+        else:
+            cache._valid_count[set_idx] += 1
+        blk.valid, blk.tag = True, tag
+    cache._tag2way[set_idx][tag] = way
+
+
+def test_inclusion_hole_trips_san_incl(small_trace, engine_name):
+    system = partial_system(small_trace, engine_name, inclusive=True)
     l1 = system.l1s[0]
     # Hand-install a block in L1 that the LLC has never seen, updating the
     # tag index and valid count consistently so only inclusion is violated.
     set_idx, tag = 0, 0x7FFFFFF
-    way = next(w for w, blk in enumerate(l1._sets[set_idx])
-               if not blk.valid or blk.tag != tag)
-    blk = l1._sets[set_idx][way]
-    if blk.valid:
-        del l1._tag2way[set_idx][blk.tag]
-    else:
-        l1._valid_count[set_idx] += 1
-    blk.valid, blk.tag = True, tag
-    l1._tag2way[set_idx][tag] = way
+    _raw_install(l1, set_idx, tag)
     assert not system.llc.probe(l1.block_addr(set_idx, tag))
     expect_trip(system, SAN_INCL)
 
@@ -197,10 +233,10 @@ def test_inclusion_hole_trips_san_incl(small_trace):
 # ----------------------------------------------------------------------
 # Watcher integration — corruption detected mid-run, not only at the end
 # ----------------------------------------------------------------------
-def test_installed_watcher_detects_mid_run_corruption(small_trace):
+def test_installed_watcher_detects_mid_run_corruption(small_trace, engine_name):
     cfg = SystemConfig.tiny(1)
-    system = System(cfg, [small_trace.records], llc_policy="lru",
-                    warmup_records=0)
+    system = build_system(cfg, [small_trace.records], engine=engine_name,
+                          llc_policy="lru", warmup_records=0)
     san = attach_sanitizer(system, interval=256)
     for core in system.cores:
         core.start()
@@ -230,12 +266,14 @@ def test_double_install_refused(small_trace):
 # ----------------------------------------------------------------------
 # Observer purity — sanitized and plain runs are byte-identical
 # ----------------------------------------------------------------------
-def test_sanitized_run_is_byte_identical(small_trace):
+def test_sanitized_run_is_byte_identical(small_trace, engine_name):
     cfg = SystemConfig.tiny(1)
-    plain = System(cfg, [small_trace.records], llc_policy="lru",
-                   warmup_records=0, sanitize=False).run()
-    sanitized_system = System(cfg, [small_trace.records], llc_policy="lru",
-                              warmup_records=0, sanitize=True)
+    plain = build_system(cfg, [small_trace.records], engine=engine_name,
+                         llc_policy="lru", warmup_records=0,
+                         sanitize=False).run()
+    sanitized_system = build_system(cfg, [small_trace.records],
+                                    engine=engine_name, llc_policy="lru",
+                                    warmup_records=0, sanitize=True)
     sanitized = sanitized_system.run()
     assert sanitized_system.sanitizer is not None
     assert sanitized_system.sanitizer.checks_run > 0
