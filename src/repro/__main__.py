@@ -36,9 +36,42 @@ failed permanently; 130 interrupted (manifest flushed when enabled).
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
-from typing import List
+from typing import List, Optional
+
+
+class _DynamicStderrHandler(logging.Handler):
+    """Log handler bound to the *current* ``sys.stderr`` at emit time.
+
+    The CLI promises that ``--json`` output on stdout stays parseable,
+    so every diagnostic — including ``log.warning`` lines from the
+    harness (store write failures, serial fallback, ...) — must land on
+    stderr.  Resolving ``sys.stderr`` per record (instead of capturing
+    the stream once, as ``logging.basicConfig`` would) keeps that true
+    under test harnesses and callers that swap the stream out.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except (OSError, ValueError):   # closed/broken stderr: drop it
+            pass
+
+
+_LOG_HANDLER: Optional[logging.Handler] = None
+
+
+def _setup_cli_logging() -> None:
+    """Route ``repro.*`` warnings to stderr, never stdout (idempotent)."""
+    global _LOG_HANDLER
+    if _LOG_HANDLER is not None:
+        return
+    handler = _DynamicStderrHandler()
+    handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
+    logging.getLogger("repro").addHandler(handler)
+    _LOG_HANDLER = handler
 
 
 def _cmd_policies(_args) -> int:
@@ -114,6 +147,13 @@ def _enable_obs(args) -> bool:
     if enabled:
         os.environ["REPRO_OBS_DIR"] = args.obs_dir
     return enabled
+
+
+def _enable_trace_cache(args) -> None:
+    """Propagate ``--trace-cache`` through the environment (same
+    mechanism as ``--sanitize``) so pool workers share the cache."""
+    if getattr(args, "trace_cache", None) is not None:
+        os.environ["REPRO_TRACE_CACHE"] = args.trace_cache
 
 
 def _supervision_from_args(args, tag: str):
@@ -198,6 +238,7 @@ def _cmd_run(args) -> int:
 
     if args.sanitize:
         _enable_sanitizer()
+    _enable_trace_cache(args)
     obs_on = _enable_obs(args)
     if args.workload in gap_workload_names():
         suite = "gap"
@@ -282,6 +323,7 @@ def _cmd_sweep(args) -> int:
         os.environ["REPRO_ENGINE"] = args.engine
     if args.sanitize:
         _enable_sanitizer()
+    _enable_trace_cache(args)
     obs_on = _enable_obs(args)
     if obs_on and not args.no_store:
         print("[sweep] observability on: store-cached points are served "
@@ -333,6 +375,35 @@ def _cmd_perf(args) -> int:
     from .harness.perfbench import (DEFAULT_OUTPUT, diff_payloads,
                                     format_payload, run_suite, write_payload)
 
+    if args.sweep:
+        from .harness.perfbench import (SWEEP_GRID_RECORDS,
+                                        SWEEP_SMOKE_RECORDS,
+                                        format_sweep_payload,
+                                        merge_sweep_section,
+                                        run_sweep_benchmark)
+        section = run_sweep_benchmark(
+            repeat=max(2, args.repeat),
+            records=(SWEEP_SMOKE_RECORDS if args.smoke
+                     else SWEEP_GRID_RECORDS),
+            engine=args.engine, progress=not args.quiet)
+        out = args.out
+        if out is None:
+            out = "BENCH_perf.smoke.json" if args.smoke else DEFAULT_OUTPUT
+        existing = None
+        try:
+            with open(out) as handle:
+                existing = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            existing = None
+        payload = merge_sweep_section(existing, section)
+        path = write_payload(payload, out)
+        if args.json:
+            print(json.dumps(payload, sort_keys=True, indent=2))
+        else:
+            print(format_sweep_payload(section))
+        if not args.quiet:
+            print(f"[perf] wrote {path}", file=sys.stderr)
+        return 0
     if args.diff:
         base_path, fresh_path = args.diff
         try:
@@ -428,7 +499,23 @@ def _cmd_store(args) -> int:
         if report.quarantined:
             print(f"quarantined entries moved to {store.quarantine_dir}; "
                   "re-running the sweep re-simulates them")
-        return 1 if (report.quarantined or report.errors) else 0
+        dirty = bool(report.quarantined or report.errors)
+        # The trace cache sits beside the store and corrupts the same
+        # way (torn writes, chaos); fsck covers both in one pass.
+        from .workloads.tracecache import default_trace_cache
+        cache = default_trace_cache()
+        if cache is not None and cache.namespace.is_dir():
+            trace_report = cache.fsck()
+            print(f"trace cache {trace_report.summary()}")
+            for line in trace_report.errors:
+                print(f"  {line}")
+            if trace_report.quarantined:
+                print(f"quarantined trace entries moved to "
+                      f"{cache.quarantine_dir}; traces are regenerated "
+                      "on next use")
+            dirty = dirty or bool(trace_report.quarantined
+                                  or trace_report.errors)
+        return 1 if dirty else 0
     print(f"store root: {store.root}")
     print(f"namespace:  {store.namespace.name}")
     print(f"entries:    {len(store)}")
@@ -544,6 +631,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--engine", default="classic", metavar="NAME",
                      help="engine backend (classic|batched; bit-identical "
                           "— part of the spec fingerprint)")
+    run.add_argument("--trace-cache", default=None, metavar="DIR",
+                     help="content-addressed trace cache directory, or "
+                          "'off' (default ~/.cache/repro-care/traces; "
+                          "equivalent to REPRO_TRACE_CACHE)")
     _add_supervise_args(run)
     _add_obs_args(run)
 
@@ -573,6 +664,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="engine backend for fresh simulation "
                             "(exports REPRO_ENGINE so pool workers "
                             "inherit it; bit-identical to classic)")
+    sweep.add_argument("--trace-cache", default=None, metavar="DIR",
+                       help="content-addressed trace cache directory, or "
+                            "'off' (default ~/.cache/repro-care/traces; "
+                            "equivalent to REPRO_TRACE_CACHE)")
     _add_supervise_args(sweep, with_manifest=True)
     _add_obs_args(sweep)
 
@@ -598,6 +693,11 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--diff", nargs=2, metavar=("BASE", "FRESH"),
                       help="print a markdown trend table comparing two "
                            "payload files instead of running the suite")
+    perf.add_argument("--sweep", action="store_true",
+                      help="run the sweep-throughput macro-benchmark "
+                           "(warm pool + trace cache vs. spawn pool) "
+                           "instead of the kernel microbenchmarks; "
+                           "merged into the payload's 'sweep' section")
 
     report = sub.add_parser(
         "report", help="render a stored run/sweep as markdown or JSON")
@@ -643,6 +743,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: List[str] = None) -> int:
+    _setup_cli_logging()
     args = build_parser().parse_args(argv)
     handlers = {
         "policies": _cmd_policies,

@@ -20,7 +20,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from .rules import (ALL_RULE_IDS, ENGINE_MODULES, HOT_PATH_MANIFEST, RULES,
-                    Rule)
+                    TRACE_CACHE_EXEMPT_MODULES, TRACE_GENERATOR_NAMES, Rule)
 
 _SUPPRESS_RE = re.compile(
     r"#\s*simsan:\s*(?P<skipfile>skip-file\b)?(?:skip=(?P<ids>[A-Za-z0-9, ]+))?"
@@ -103,6 +103,8 @@ def _rule_applies(rule: Rule, module: str) -> bool:
         return True
     if rule.scope == "sim":
         return module.startswith("repro.sim")
+    if rule.scope == "harness":
+        return module.startswith("repro.harness")
     # "deterministic" and "hot" both live in the deterministic packages;
     # "hot" is additionally gated per-function by the visitor.
     return _in_deterministic_scope(module)
@@ -526,6 +528,14 @@ class _Linter(ast.NodeVisitor):
                     self.report("SS203", arg,
                                 "f-string formatted eagerly in a hot-path "
                                 "logging call")
+
+        # SS401 — trace generation bypassing the TraceCache -----------
+        if self.module not in TRACE_CACHE_EXEMPT_MODULES:
+            gen_name = _name_of(func)
+            if gen_name in TRACE_GENERATOR_NAMES:
+                self.report("SS401", node,
+                            f"{gen_name}() regenerates a trace the "
+                            "TraceCache already fingerprints")
 
         # SS204 — scheduling around the engine ------------------------
         if self.module not in ENGINE_MODULES:

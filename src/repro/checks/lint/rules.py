@@ -14,6 +14,9 @@ limits which modules it applies to:
     Only inside functions on the simulator's hot path: tagged with a
     ``# hot:`` comment on (or directly above) their ``def`` line, or
     listed in :data:`HOT_PATH_MANIFEST`.
+``harness``
+    ``repro.harness`` — sweep-execution code, where throughput
+    discipline (``SS4xx``) applies.
 ``all``
     Every linted module.
 
@@ -37,7 +40,7 @@ class Rule:
     name: str
     summary: str
     hint: str
-    scope: str  # "deterministic" | "sim" | "hot" | "all"
+    scope: str  # "deterministic" | "sim" | "hot" | "harness" | "all"
 
 
 _RULES = [
@@ -139,6 +142,23 @@ _RULES = [
              "KeyboardInterrupt/SystemExit and hides simulator bugs",
         scope="all",
     ),
+    # ------------------------------------------------------------------
+    # SS4xx — sweep-throughput discipline (the PR 7 amortization
+    # invariants): harness code must not regenerate what the
+    # content-addressed caches already fingerprint.
+    # ------------------------------------------------------------------
+    Rule(
+        id="SS401",
+        name="uncached-trace-generation",
+        summary="direct trace generation in harness code bypasses the "
+                "TraceCache",
+        hint="reach traces through ExperimentSpec.build_traces or "
+             "workloads.cached_trace so every sweep point sharing a "
+             "(kind, name, records, seed, scale) tuple generates once; "
+             "a reviewed direct-generation site belongs in "
+             "TRACE_CACHE_EXEMPT_MODULES",
+        scope="harness",
+    ),
 ]
 
 RULES: Dict[str, Rule] = {r.id: r for r in _RULES}
@@ -195,3 +215,19 @@ ENGINE_MODULES: FrozenSet[str] = frozenset({
     "repro.sim.engine",
     "repro.sim.batched.engine",
 })
+
+#: Raw trace-generator calls SS401 flags inside ``repro.harness``:
+#: cache-bypassing generation belongs in ``repro.workloads`` (behind
+#: ``cached_trace``), never in sweep-execution code.
+TRACE_GENERATOR_NAMES: FrozenSet[str] = frozenset({
+    "make_trace",
+    "spec_trace",
+    "gap_trace",
+})
+
+#: Harness modules with a reviewed need to generate traces directly
+#: (exemption manifest, like :data:`ENGINE_MODULES` for SS204).  Empty
+#: today: harness code reaches traces through
+#: ``ExperimentSpec.build_traces``, whose ``repro.workloads.mixes``
+#: helpers route through the TraceCache.
+TRACE_CACHE_EXEMPT_MODULES: FrozenSet[str] = frozenset()

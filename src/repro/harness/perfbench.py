@@ -142,6 +142,168 @@ def run_suite(cases: Optional[Sequence[str]] = None, repeat: int = 3,
     }
 
 
+# ----------------------------------------------------------------------
+# Sweep macro-benchmark (``python -m repro perf --sweep``)
+# ----------------------------------------------------------------------
+#: Pinned grid for the sweep-throughput benchmark: 3 workloads x 3
+#: policies at 1 core on the tiny preset.  Points are deliberately
+#: *small* — sweep throughput is about per-point overhead (process
+#: spawn, imports, trace generation), which is exactly what the warm
+#: pool and trace cache amortize and what a paper-scale campaign of
+#: thousands of points is dominated by at the margin.
+SWEEP_GRID_WORKLOADS = ("429.mcf", "462.libquantum", "470.lbm")
+SWEEP_GRID_POLICIES = ("lru", "srrip", "care")
+SWEEP_GRID_RECORDS = 150
+SWEEP_SMOKE_RECORDS = 80
+
+
+def sweep_grid(records: int = SWEEP_GRID_RECORDS,
+               engine: str = "classic") -> List[ExperimentSpec]:
+    """The pinned sweep-benchmark grid (9 points)."""
+    return [ExperimentSpec.multicopy(w, p, n_cores=1, prefetch=False,
+                                     n_records=records, seed=3,
+                                     preset="tiny", engine=engine)
+            for w in SWEEP_GRID_WORKLOADS for p in SWEEP_GRID_POLICIES]
+
+
+def _run_sweep_phase(specs: Sequence[ExperimentSpec], workers: int) -> Dict:
+    """One full pass over the grid, store-less and memo-cleared, so every
+    point actually simulates; wall clock covers the whole ``run_many``."""
+    from .runner import SweepStats, clear_memo, run_many
+    clear_memo()
+    stats = SweepStats()
+    start = time.perf_counter()
+    run_many(specs, workers=workers, store=None, stats_out=stats)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": round(wall, 6),
+        "points": len(specs),
+        "points_per_s": round(len(specs) / wall, 2),
+        "simulated": stats.simulated,
+        "pool_mode": stats.pool_mode,
+        "fell_back_serial": stats.fell_back_serial,
+    }
+
+
+def run_sweep_benchmark(repeat: int = 3, records: int = SWEEP_GRID_RECORDS,
+                        workers: int = 2, engine: Optional[str] = None,
+                        progress: bool = False) -> Dict:
+    """Interleaved sweep-throughput comparison; returns the payload section.
+
+    Each round runs the pinned grid twice on the same machine state:
+    first **baseline** (``REPRO_POOL=spawn`` + trace cache disabled — the
+    PR 5 path), then **turbo** (persistent warm pool + trace cache in a
+    throwaway directory).  Turbo round 0 is the *cold* number (pool fork
+    + cache misses included); later rounds are *warm*.  The headline
+    speedup compares best warm turbo against best baseline, so both
+    sides get their best-of treatment.
+    """
+    import os
+    import tempfile
+
+    from ..workloads.tracecache import ENV_VAR as TRACE_CACHE_ENV
+    from ..workloads.tracecache import reset_default_trace_cache
+    from .turbo import POOL_ENV, shutdown_shared_pool
+
+    if repeat < 2:
+        raise ValueError("repeat must be >= 2 (round 0 is the cold round)")
+    engine = resolve_engine(engine)
+    specs = sweep_grid(records, engine)
+    saved = {k: os.environ.get(k) for k in (POOL_ENV, TRACE_CACHE_ENV)}
+    baseline: List[Dict] = []
+    cold: Dict = {}
+    warm: List[Dict] = []
+    reset_default_trace_cache()
+    with tempfile.TemporaryDirectory(prefix="repro-sweepbench-") as tmp:
+        try:
+            for i in range(repeat):
+                os.environ[POOL_ENV] = "spawn"
+                os.environ[TRACE_CACHE_ENV] = "off"
+                phase = _run_sweep_phase(specs, workers)
+                baseline.append(phase)
+                if progress:
+                    print(f"[perf] sweep round {i}: baseline "
+                          f"{phase['points_per_s']:.2f} points/s",
+                          file=sys.stderr)
+                os.environ[POOL_ENV] = "persistent"
+                os.environ[TRACE_CACHE_ENV] = tmp
+                phase = _run_sweep_phase(specs, workers)
+                if i == 0:
+                    cold = phase
+                else:
+                    warm.append(phase)
+                if progress:
+                    label = "cold" if i == 0 else "warm"
+                    print(f"[perf] sweep round {i}: turbo ({label}) "
+                          f"{phase['points_per_s']:.2f} points/s",
+                          file=sys.stderr)
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+            reset_default_trace_cache()
+            shutdown_shared_pool()
+    base_best = max(p["points_per_s"] for p in baseline)
+    warm_best = max(p["points_per_s"] for p in warm)
+    return {
+        "grid": {
+            "workloads": list(SWEEP_GRID_WORKLOADS),
+            "policies": list(SWEEP_GRID_POLICIES),
+            "n_cores": 1, "n_records": records, "preset": "tiny",
+            "points": len(specs), "engine": engine,
+        },
+        "workers": workers,
+        "repeat": repeat,
+        "baseline": {"mode": "spawn pool, trace cache off",
+                     "passes": baseline, "best_points_per_s": base_best},
+        "turbo_cold": cold,
+        "turbo_warm": {"mode": "persistent pool, trace cache on",
+                       "passes": warm, "best_points_per_s": warm_best},
+        "speedup_cold_vs_baseline":
+            round(cold["points_per_s"] / base_best, 2),
+        "speedup_warm_vs_baseline": round(warm_best / base_best, 2),
+    }
+
+
+def format_sweep_payload(section: Dict) -> str:
+    """Human-readable summary of one sweep-benchmark section."""
+    grid = section["grid"]
+    lines = [
+        f"sweep throughput ({grid['points']} points: "
+        f"{len(grid['workloads'])} workloads x {len(grid['policies'])} "
+        f"policies, {grid['n_records']} records, preset {grid['preset']}, "
+        f"engine {grid['engine']}, workers={section['workers']})",
+        f"  baseline (spawn pool, cache off): "
+        f"{section['baseline']['best_points_per_s']:.2f} points/s",
+        f"  turbo cold (warm pool, cold cache): "
+        f"{section['turbo_cold']['points_per_s']:.2f} points/s "
+        f"({section['speedup_cold_vs_baseline']:.2f}x)",
+        f"  turbo warm: "
+        f"{section['turbo_warm']['best_points_per_s']:.2f} points/s "
+        f"({section['speedup_warm_vs_baseline']:.2f}x)",
+    ]
+    return "\n".join(lines)
+
+
+def merge_sweep_section(existing: Optional[Dict], section: Dict) -> Dict:
+    """Fold a sweep section into an existing suite payload (or mint a
+    minimal one), preserving the per-case microbenchmark numbers."""
+    from .store import code_fingerprint
+    payload = dict(existing) if existing else {
+        "schema": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "fingerprint": code_fingerprint()[:16],
+        "cases": {},
+    }
+    payload["sweep"] = section
+    payload["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    return payload
+
+
 def write_payload(payload: Dict, path: Union[str, Path] = DEFAULT_OUTPUT) -> Path:
     """Persist a suite payload (pretty, sorted keys) and return the path."""
     out = Path(path)

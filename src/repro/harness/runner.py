@@ -40,7 +40,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
+from dataclasses import replace as dc_replace
+
 from ..checks.chaos import chaos_from_env, inject_execute
+from ..sim.backends import ENGINE_ENV
 from ..sim.stats import SimResult
 from .spec import ExperimentSpec
 from .store import ResultStore, default_store
@@ -84,6 +87,7 @@ class SweepStats:
     simulated: int = 0
     workers: int = 1
     pool_used: bool = False
+    pool_mode: str = "serial"   # "serial" | "spawn" | "persistent"
     fell_back_serial: bool = False
     elapsed: float = 0.0      # wall-clock of the whole call
     busy_time: float = 0.0    # summed per-point simulation time
@@ -106,7 +110,7 @@ class SweepStats:
         return min(1.0, self.busy_time / (self.elapsed * self.workers))
 
     def summary(self) -> str:
-        mode = "pool" if self.pool_used else "serial"
+        mode = f"pool/{self.pool_mode}" if self.pool_used else "serial"
         if self.fell_back_serial:
             mode = "serial (pool unavailable)"
         text = (f"{self.done}/{self.total} points in {self.elapsed:.2f}s | "
@@ -174,6 +178,23 @@ def _resolve_store(store) -> Optional[ResultStore]:
     return store
 
 
+def _normalize_engine(spec: ExperimentSpec) -> ExperimentSpec:
+    """Fold an active ``REPRO_ENGINE`` override into the spec itself.
+
+    ``ExperimentSpec.execute`` honors the env var anyway (backend
+    selection precedence), but leaving it implicit records the *wrong*
+    engine in memo keys, store entries, and pool-worker task messages.
+    Rewriting the spec makes the override explicit everywhere — a sweep
+    under ``REPRO_ENGINE=batched`` stores every result as
+    ``engine=batched``, and workers receive the selection in the spec
+    rather than trusting inherited environment.
+    """
+    env = os.environ.get(ENGINE_ENV, "").strip()
+    if env and spec.engine != env:
+        return dc_replace(spec, engine=env)
+    return spec
+
+
 def _progress_printer(stats: SweepStats, spec: Optional[ExperimentSpec],
                       event: str) -> None:
     if spec is not None:
@@ -204,6 +225,7 @@ def run(spec: ExperimentSpec, store=USE_DEFAULT_STORE,
     """
     if obs is not None and obs.enabled:
         force = True
+    spec = _normalize_engine(spec)
     if not force and spec in _MEMO:
         session_stats.points += 1
         session_stats.memo_hits += 1
@@ -258,7 +280,7 @@ def run_many(specs: Sequence[ExperimentSpec], workers: Optional[int] = None,
     (the default under an active supervisor, which collects the failures
     for the CLI's failure table).
     """
-    specs = list(specs)
+    specs = [_normalize_engine(s) for s in specs]
     sup = active_supervisor()
     if keep_going is None:
         keep_going = sup.keep_going if sup is not None else True
@@ -406,14 +428,25 @@ def run_many(specs: Sequence[ExperimentSpec], workers: Optional[int] = None,
         if pending:
             n_workers = min(stats.workers, len(pending))
             if n_workers > 1:
-                pool = SupervisedPool(
-                    n_workers, retry,
-                    timeout_for=lambda s: compute_timeout(s, timeout),
-                    supervisor=sup)
+                from .turbo import resolve_pool_mode, shared_pool
+                mode = resolve_pool_mode()
                 try:
-                    pool.run(pending, on_success=finish, on_failure=fail,
-                             on_retry=note_retry, keep_going=keep_going)
+                    if mode == "persistent":
+                        shared_pool(n_workers).run(
+                            pending, on_success=finish, on_failure=fail,
+                            on_retry=note_retry, retry=retry,
+                            timeout_for=lambda s: compute_timeout(s, timeout),
+                            supervisor=sup, keep_going=keep_going)
+                    else:
+                        pool = SupervisedPool(
+                            n_workers, retry,
+                            timeout_for=lambda s: compute_timeout(s, timeout),
+                            supervisor=sup)
+                        pool.run(pending, on_success=finish,
+                                 on_failure=fail, on_retry=note_retry,
+                                 keep_going=keep_going)
                     stats.pool_used = True
+                    stats.pool_mode = mode
                 except PoolUnavailable as exc:
                     log.warning("worker pool unavailable (%s); "
                                 "falling back to serial execution",

@@ -495,6 +495,36 @@ class supervised_sweep:
 
 
 # ----------------------------------------------------------------------
+# Failure classification (shared by both pool flavors)
+# ----------------------------------------------------------------------
+def classify_failure(retry: RetryPolicy,
+                     supervisor: Optional[SweepSupervisor],
+                     spec: ExperimentSpec, attempt: int, kind: str,
+                     error: str, message: str, traceback: str,
+                     duration: float, requeue: Callable[[], None],
+                     fail: Callable[[FailedResult], None],
+                     worker: Optional[int] = None) -> None:
+    """Route one bad point: transient -> ``requeue``, else ``fail``.
+
+    The spawn pool (:class:`SupervisedPool`) and the warm pool
+    (:mod:`repro.harness.turbo`) share this so retry/backoff semantics
+    cannot drift between them.  ``worker`` (a pid) attributes timeout and
+    crash incidents to the specific worker process that served the point.
+    """
+    transient = retry.is_transient_name(error)
+    if supervisor is not None and kind in ("timeout", "crash"):
+        extra: Dict[str, Any] = {} if worker is None else {"worker": worker}
+        supervisor.record_incident(kind, spec, error=error, attempt=attempt,
+                                   **extra)
+    if transient and attempt + 1 < retry.max_attempts:
+        requeue()
+        return
+    fail(FailedResult(spec=spec, kind=kind, error=error, message=message,
+                      traceback=traceback, attempts=attempt + 1,
+                      duration=duration, permanent=not transient))
+
+
+# ----------------------------------------------------------------------
 # Supervised worker pool
 # ----------------------------------------------------------------------
 def _supervised_worker(conn: Any, spec_data: Dict[str, Any],
@@ -718,17 +748,10 @@ class SupervisedPool:
                     message: str, traceback: str, duration: float,
                     requeue: Callable[[_ActiveTask, str], None],
                     fail: Callable[[FailedResult], None]) -> None:
-        transient = self.retry.is_transient_name(error)
-        if self.supervisor is not None and kind in ("timeout", "crash"):
-            self.supervisor.record_incident(kind, task.spec, error=error,
-                                            attempt=task.attempt)
-        if transient and task.attempt + 1 < self.retry.max_attempts:
-            requeue(task, error)
-            return
-        fail(FailedResult(spec=task.spec, kind=kind, error=error,
-                          message=message, traceback=traceback,
-                          attempts=task.attempt + 1, duration=duration,
-                          permanent=not transient))
+        classify_failure(self.retry, self.supervisor, task.spec,
+                         task.attempt, kind, error, message, traceback,
+                         duration, lambda: requeue(task, error), fail,
+                         worker=task.proc.pid)
 
     @staticmethod
     def _abort(active: List[_ActiveTask],

@@ -35,6 +35,15 @@ from .io import (
     read_champsim_trace,
     save_trace,
 )
+from .tracecache import (
+    TraceCache,
+    cached_trace,
+    default_trace_cache,
+    reset_default_trace_cache,
+    set_default_trace_cache,
+    trace_key,
+    workloads_fingerprint,
+)
 
 __all__ = [
     "Trace", "TraceRecord", "make_trace",
@@ -49,4 +58,7 @@ __all__ = [
     "multicopy_traces",
     "load_trace", "pack_champsim_instruction", "read_champsim_trace",
     "save_trace",
+    "TraceCache", "cached_trace", "default_trace_cache",
+    "reset_default_trace_cache", "set_default_trace_cache", "trace_key",
+    "workloads_fingerprint",
 ]

@@ -11,8 +11,9 @@ from __future__ import annotations
 import random
 from typing import List, Sequence
 
-from .spec_like import DEFAULT_SCALE, spec_names, spec_trace
+from .spec_like import DEFAULT_SCALE, spec_names
 from .trace import Trace
+from .tracecache import cached_trace
 
 #: the paper's mixed-workload count
 N_MIXES = 100
@@ -40,8 +41,8 @@ def mixed_workload_traces(n_cores: int, mix_id: int, n_records: int,
     """
     names = mixed_workload_names(n_cores, mix_id)
     return [
-        spec_trace(name, n_records=n_records, seed=seed + 31 * slot,
-                   scale=scale)
+        cached_trace("spec", name, n_records=n_records,
+                     seed=seed + 31 * slot, scale=scale)
         for slot, name in enumerate(names)
     ]
 
@@ -54,10 +55,11 @@ def multicopy_traces(name: str, n_cores: int, n_records: int, seed: int = 0,
     "each trace does not start exactly at the same time".
     """
     if suite == "spec":
-        return [spec_trace(name, n_records=n_records, seed=seed + 31 * c,
-                           scale=scale) for c in range(n_cores)]
+        return [cached_trace("spec", name, n_records=n_records,
+                             seed=seed + 31 * c, scale=scale)
+                for c in range(n_cores)]
     if suite == "gap":
-        from .gap import gap_trace
-        return [gap_trace(name, n_records=n_records, seed=seed + 31 * c)
+        return [cached_trace("gap", name, n_records=n_records,
+                             seed=seed + 31 * c, scale=scale)
                 for c in range(n_cores)]
     raise ValueError(f"unknown suite {suite!r} (want 'spec' or 'gap')")

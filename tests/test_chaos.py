@@ -170,3 +170,36 @@ def test_chaotic_sweep_resumes_to_fault_free_results(isolated, monkeypatch):
     set_default_store(None)
     clean = run_many(specs, workers=1)
     assert [r.to_json() for r in resumed] == [r.to_json() for r in clean]
+
+
+def test_chaotic_resumed_sweep_byte_identical_on_persistent_pool(
+        isolated, monkeypatch, tmp_path):
+    """The PR 7 warm pool under disruptive chaos (hangs, worker kills,
+    store corruption) + trace cache still converges: resume with chaos
+    off is byte-identical to a store-less fault-free run."""
+    from repro.harness.turbo import shutdown_shared_pool
+    from repro.workloads.tracecache import reset_default_trace_cache
+
+    monkeypatch.setenv("REPRO_POOL", "persistent")
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+    monkeypatch.setenv("REPRO_TIMEOUT", "5")
+    specs = specs_for(WORKLOADS)
+    try:
+        monkeypatch.setenv("REPRO_CHAOS", "raise,kill,corrupt:11:1/2")
+        run_many(specs, workers=2, keep_going=True, on_failure="none",
+                 retry=RetryPolicy(max_attempts=2, backoff=0.01))
+
+        monkeypatch.delenv("REPRO_CHAOS")
+        clear_memo()
+        resumed = run_many(specs, workers=2)
+        assert all(r is not None for r in resumed)
+
+        clear_memo()
+        set_default_store(None)
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        clean = run_many(specs, workers=1)
+        assert [r.to_json() for r in resumed] == \
+            [r.to_json() for r in clean]
+    finally:
+        shutdown_shared_pool()
+        reset_default_trace_cache()

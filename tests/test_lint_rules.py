@@ -48,7 +48,8 @@ def test_catalogue_has_at_least_eight_rules():
     assert set(ALL_RULE_IDS) == set(RULES)
     for rule in RULES.values():
         assert rule.id and rule.summary and rule.hint
-        assert rule.scope in ("deterministic", "sim", "hot", "all")
+        assert rule.scope in ("deterministic", "sim", "hot", "harness",
+                              "all")
 
 
 def test_hot_path_manifest_names_resolve():
@@ -278,6 +279,45 @@ def test_ss302_typed_except_is_clean():
             except OSError:
                 return ""
         """, module=OTHER) == []
+
+
+# ----------------------------------------------------------------------
+# SS4xx sweep-throughput discipline
+# ----------------------------------------------------------------------
+HARNESS = "repro.harness.fake"
+
+
+def test_ss401_direct_trace_generation_fires_in_harness():
+    f = one(lint("""
+        from repro.workloads import spec_trace
+        def build(name, n):
+            return spec_trace(name, n_records=n, seed=3)
+        """, module=HARNESS), "SS401")
+    assert "spec_trace" in f.message
+
+
+def test_ss401_covers_every_generator_name():
+    for fn in ("make_trace", "spec_trace", "gap_trace"):
+        one(lint(f"""
+            from repro import workloads
+            def build(name):
+                return workloads.{fn}(name)
+            """, module=HARNESS), "SS401")
+
+
+def test_ss401_cached_trace_is_clean():
+    assert lint("""
+        from repro.workloads import cached_trace
+        def build(name, n):
+            return cached_trace("spec", name, n, 3, 1)
+        """, module=HARNESS) == []
+
+
+def test_ss401_does_not_apply_to_workloads_package():
+    assert lint("""
+        def helper(name, n):
+            return spec_trace(name, n_records=n, seed=0)
+        """, module="repro.workloads.mixes") == []
 
 
 # ----------------------------------------------------------------------

@@ -25,12 +25,23 @@ def isolated(tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_CHAOS", raising=False)
     monkeypatch.delenv("REPRO_TIMEOUT", raising=False)
     monkeypatch.delenv("REPRO_RETRIES", raising=False)
+    monkeypatch.delenv("REPRO_POOL", raising=False)
     clear_memo()
     store = ResultStore(tmp_path / "store")
     set_default_store(store)
     yield store
     clear_memo()
     reset_default_store()
+
+
+@pytest.fixture(params=["spawn", "persistent"])
+def pool_mode(request, monkeypatch):
+    """Chaos-matrix tests run against both pool flavors (PR 5 / PR 7)."""
+    monkeypatch.setenv("REPRO_POOL", request.param)
+    yield request.param
+    if request.param == "persistent":
+        from repro.harness.turbo import shutdown_shared_pool
+        shutdown_shared_pool()
 
 
 def specs_for(workloads, n_records=300):
@@ -231,9 +242,9 @@ def test_sigint_mid_sweep_flushes_manifest_and_resumes(isolated, tmp_path):
 
 
 # ----------------------------------------------------------------------
-# Supervised pool: watchdog and crash recovery
+# Worker pools (both flavors): watchdog and crash recovery
 # ----------------------------------------------------------------------
-def test_pool_watchdog_kills_hung_workers(monkeypatch):
+def test_pool_watchdog_kills_hung_workers(pool_mode, monkeypatch):
     monkeypatch.setenv("REPRO_CHAOS", "hang:5:1/1")
     monkeypatch.setenv("REPRO_TIMEOUT", "2")
     specs = specs_for(WORKLOADS[:2])
@@ -243,9 +254,10 @@ def test_pool_watchdog_kills_hung_workers(monkeypatch):
     assert all(r is not None for r in results)
     assert stats.timeouts == len(specs)     # every point hung once
     assert stats.failed == 0
+    assert stats.fell_back_serial or stats.pool_mode == pool_mode
 
 
-def test_pool_recovers_crashed_workers(monkeypatch):
+def test_pool_recovers_crashed_workers(pool_mode, monkeypatch):
     monkeypatch.setenv("REPRO_CHAOS", "kill:5:1/1")
     specs = specs_for(WORKLOADS[:2])
     stats = SweepStats()
@@ -256,7 +268,8 @@ def test_pool_recovers_crashed_workers(monkeypatch):
     assert stats.failed == 0
 
 
-def test_pool_results_match_serial_under_chaos(isolated, monkeypatch):
+def test_pool_results_match_serial_under_chaos(isolated, pool_mode,
+                                               monkeypatch):
     """Chaos only perturbs scheduling, never results: a pool sweep under
     kill/flaky chaos is byte-identical to a clean serial sweep."""
     specs = specs_for(WORKLOADS)
