@@ -522,11 +522,43 @@ def _cmd_store(args) -> int:
     return 0
 
 
+def _emit_findings(findings, fmt: str, fix_hints: bool) -> None:
+    from .checks.lint import format_finding
+
+    if fmt == "json":
+        import json
+        payload = {
+            "version": "repro.simsan.findings/v1",
+            "clean": not findings,
+            "findings": [
+                {"path": f.path, "line": f.line, "col": f.col,
+                 "rule": f.rule_id, "name": f.rule.name,
+                 "message": f.message}
+                for f in findings
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    if fmt == "github":
+        for f in findings:
+            # GitHub annotation grammar: property values escape % , \r \n
+            msg = (f"{f.rule_id} [{f.rule.name}] {f.message}"
+                   .replace("%", "%25").replace("\r", "%0D")
+                   .replace("\n", "%0A"))
+            print(f"::error file={f.path},line={f.line},"
+                  f"col={f.col + 1},title={f.rule_id}::{msg}")
+        return
+    for f in findings:
+        print(format_finding(f, fix_hints=fix_hints))
+
+
 def _cmd_check(args) -> int:
-    from .checks.lint import RULES, format_finding, run_lint
+    from .checks.lint import audit_suppressions, run_lint_detailed
+    from .checks.lint.rules import RULES
 
     if args.list_rules:
-        for rule in RULES.values():
+        from .checks.flow.rules import FLOW_RULES
+        for rule in list(RULES.values()) + list(FLOW_RULES.values()):
             print(f"{rule.id}  {rule.name:26s} [{rule.scope}] {rule.summary}")
         return 0
     paths = args.paths
@@ -534,18 +566,48 @@ def _cmd_check(args) -> int:
         from pathlib import Path
         default = Path("src")
         paths = [default] if default.is_dir() else [Path(__file__).parent]
+    run_flow_pass = args.flow or bool(args.call_graph)
     try:
-        findings = run_lint(paths)
+        results = run_lint_detailed(paths)
+        findings = [f for r in results for f in r.findings]
+        flow_report = None
+        if run_flow_pass:
+            from .checks.flow import run_flow
+            flow_report = run_flow(paths)
+            findings.extend(flow_report.findings)
     except (FileNotFoundError, SyntaxError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    for finding in findings:
-        print(format_finding(finding, fix_hints=args.fix_hints))
+    findings.extend(audit_suppressions(
+        results,
+        flow_used=flow_report.used_suppressions if flow_report else None,
+        flow_ran=flow_report is not None))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    if args.call_graph and flow_report is not None:
+        import json
+        from pathlib import Path
+        out = Path(args.call_graph)
+        if out.suffix in (".dot", ".gv"):
+            out.write_text(
+                flow_report.graph.to_dot(hot=flow_report.hot_derived),
+                encoding="utf-8")
+        else:
+            payload = flow_report.graph.to_json(
+                hot=flow_report.hot_derived,
+                worker=flow_report.worker_closure)
+            out.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8")
+        print(f"call graph written to {out}", file=sys.stderr)
+    _emit_findings(findings, args.format, args.fix_hints)
     if findings:
-        print(f"\n{len(findings)} finding(s). Suppress a reviewed line with "
-              "'# simsan: skip=<ID>'; see --fix-hints for remedies.")
+        if args.format == "text":
+            print(f"\n{len(findings)} finding(s). Suppress a reviewed line "
+                  "with '# simsan: skip=<ID>'; see --fix-hints for remedies.")
         return 1
-    print("simsan: clean")
+    if args.format == "text":
+        scope = "lint+flow" if run_flow_pass else "lint"
+        print(f"simsan: clean ({scope})")
     return 0
 
 
@@ -739,6 +801,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print a fix hint under every finding")
     check.add_argument("--list-rules", action="store_true",
                        help="list the rule catalogue and exit")
+    check.add_argument("--flow", action="store_true",
+                       help="also run the whole-program flow analysis "
+                            "(call graph, hot-path reachability, "
+                            "determinism taint, worker/fork safety)")
+    check.add_argument("--call-graph", metavar="PATH", default=None,
+                       help="export the flow call graph (implies --flow; "
+                            ".dot/.gv for Graphviz, anything else JSON)")
+    check.add_argument("--format", choices=("text", "json", "github"),
+                       default="text",
+                       help="finding output format (github emits "
+                            "::error workflow annotations)")
     return parser
 
 

@@ -1,0 +1,31 @@
+"""SimSan-Flow: whole-program call-graph / taint / worker-safety
+analysis behind ``python -m repro check --flow``.
+
+Where :mod:`repro.checks.lint` judges one file at a time, this package
+builds a call graph of the whole tree and checks the *relationships*
+the per-file rules cannot see: hot-path reachability versus the
+hand-maintained manifest, nondeterminism flowing through helpers into
+simulator state, and what the sweep pool's warm workers can actually
+execute.  Stdlib-only, purely syntactic (no project imports are
+executed), like the lint engine.
+"""
+
+from .analysis import FlowConfig, FlowReport, analyze_modules, run_flow
+from .extract import ModuleFacts, extract_module, extract_source
+from .graph import CallGraph, ProjectIndex, build_graph
+from .rules import FLOW_RULE_IDS, FLOW_RULES
+
+__all__ = [
+    "FlowConfig",
+    "FlowReport",
+    "analyze_modules",
+    "run_flow",
+    "ModuleFacts",
+    "extract_module",
+    "extract_source",
+    "CallGraph",
+    "ProjectIndex",
+    "build_graph",
+    "FLOW_RULE_IDS",
+    "FLOW_RULES",
+]

@@ -1,0 +1,320 @@
+"""The SimSan-Flow analysis passes.
+
+Runs over the resolved call graph (:mod:`repro.checks.flow.graph`):
+
+1. **Manifest integrity** (SS501) — every ``HOT_PATH_MANIFEST`` /
+   ``ENGINE_MODULES`` / ``TRACE_CACHE_EXEMPT_MODULES`` entry must name
+   a definition that still exists.
+2. **Hot-path reachability** (SS502/SS503) — the *derived* hot set is
+   the closure of the engine entry points plus every callback scheduled
+   onto an engine, restricted to the deterministic domain.  Manifest
+   entries and ``# hot:`` tags outside the derived set are stale;
+   derived functions without a tag are missing one.
+3. **Determinism taint** (SS510) — functions transitively reaching a
+   nondeterminism source are *tainted* (sanitizers cut propagation);
+   sink-domain code calling a tainted out-of-domain helper, or directly
+   reading env/``id()``/``os.urandom``, is flagged.
+4. **Worker/fork safety** (SS601/SS602/SS603) — over the closure of
+   the pool worker entry points: module-global writes, raw env reads
+   outside ``WORKER_ENV_API``, and import-time calls that capture
+   env/clock-derived state.
+
+Findings honor the same ``# simsan: skip=<ID>`` comments as the lint
+engine, and the report records which suppressions fired so the CLI's
+unused-suppression audit (SS303) can account for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Dict, FrozenSet, Iterable, List, Optional, Sequence,
+                    Set, Tuple, Union)
+
+from ..lint.engine import Finding, _iter_python_files
+from ..lint.rules import (ENGINE_MODULES, HOT_PATH_MANIFEST,
+                          TRACE_CACHE_EXEMPT_MODULES)
+from . import rules as flow_rules
+from .extract import ModuleFacts, extract_module
+from .graph import CallGraph, ProjectIndex, build_graph
+
+#: taint kinds that make import-time capture diverge between pool modes
+_ENVLIKE_KINDS = frozenset({"env", "clock", "urandom"})
+
+#: taint kinds in sink-domain code not already policed per-file by
+#: SS101 (rng), SS102 (clock), SS103 (set-iter)
+_DIRECT_SINK_KINDS = frozenset({"env", "id", "urandom"})
+
+
+@dataclass
+class FlowConfig:
+    """Manifests the analysis runs against (overridable for fixtures)."""
+
+    hot_roots: FrozenSet[str] = flow_rules.HOT_ROOTS
+    hot_domain: Tuple[str, ...] = flow_rules.HOT_DOMAIN
+    taint_sink_domain: Tuple[str, ...] = flow_rules.TAINT_SINK_DOMAIN
+    taint_sanitizers: FrozenSet[str] = flow_rules.TAINT_SANITIZERS
+    worker_roots: FrozenSet[str] = flow_rules.WORKER_ROOTS
+    worker_env_api: FrozenSet[str] = flow_rules.WORKER_ENV_API
+    registry_resolvers: Dict[str, str] = field(
+        default_factory=lambda: dict(flow_rules.REGISTRY_RESOLVERS))
+    hot_manifest: FrozenSet[str] = HOT_PATH_MANIFEST
+    engine_modules: FrozenSet[str] = ENGINE_MODULES
+    trace_exempt_modules: FrozenSet[str] = TRACE_CACHE_EXEMPT_MODULES
+    #: module holding the manifests, for SS501 finding locations
+    manifest_module: str = "repro.checks.lint.rules"
+
+
+@dataclass
+class FlowReport:
+    """Everything the flow analysis produced."""
+
+    findings: List[Finding]
+    graph: CallGraph
+    index: ProjectIndex
+    hot_derived: Set[str]
+    worker_closure: Set[str]
+    tainted: Dict[str, Tuple[str, str]]        # qualname -> (kind, origin)
+    used_suppressions: Set[Tuple[str, int, str]]   # (path, line, rule_id)
+
+
+class _Reporter:
+    """Suppression-aware finding sink."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.findings: List[Finding] = []
+        self.used: Set[Tuple[str, int, str]] = set()
+
+    def report(self, rule_id: str, path: str, line: int,
+               message: str) -> None:
+        mod = self.index.by_path.get(path)
+        if mod is not None:
+            if mod.skip_file:
+                return
+            ids = mod.suppressions.get(line)
+            if ids and rule_id in ids:
+                self.used.add((path, line, rule_id))
+                return
+        self.findings.append(Finding(path, line, 0, rule_id, message))
+
+
+# ----------------------------------------------------------------------
+# Passes
+# ----------------------------------------------------------------------
+def _manifest_location(index: ProjectIndex, config: FlowConfig,
+                       table: str) -> Tuple[str, int]:
+    mod = index.modules.get(config.manifest_module)
+    if mod is not None:
+        return mod.path, mod.global_vars.get(table, 1)
+    first = min(index.by_path) if index.by_path else "<manifest>"
+    return first, 1
+
+
+def _check_manifests(rep: _Reporter, index: ProjectIndex,
+                     config: FlowConfig) -> None:
+    path, line = _manifest_location(index, config, "HOT_PATH_MANIFEST")
+    for qualname in sorted(config.hot_manifest):
+        if qualname not in index.functions:
+            rep.report("SS501", path, line,
+                       f"HOT_PATH_MANIFEST entry '{qualname}' does not "
+                       "name a function in the tree")
+    for table, modules in (("ENGINE_MODULES", config.engine_modules),
+                           ("TRACE_CACHE_EXEMPT_MODULES",
+                            config.trace_exempt_modules)):
+        path, line = _manifest_location(index, config, table)
+        for module in sorted(modules):
+            if module not in index.modules:
+                rep.report("SS501", path, line,
+                           f"{table} entry '{module}' does not name a "
+                           "module in the tree")
+
+
+def _derive_hot(graph: CallGraph, config: FlowConfig) -> Set[str]:
+    roots = set(config.hot_roots) | graph.sched_targets
+    derived = graph.reachable(roots, domain=config.hot_domain)
+    return {q for q in derived if not q.endswith(".<module>")}
+
+
+def _check_hot_path(rep: _Reporter, graph: CallGraph, index: ProjectIndex,
+                    config: FlowConfig, hot_derived: Set[str]) -> None:
+    # SS502 — manifest entries / tags the event loop cannot reach
+    for qualname in sorted(config.hot_manifest):
+        fn = index.functions.get(qualname)
+        if fn is None:        # SS501 already covers nonexistent entries
+            continue
+        if qualname not in hot_derived:
+            rep.report("SS502", fn.path, fn.line,
+                       f"'{qualname}' is in HOT_PATH_MANIFEST but the "
+                       "event loop cannot reach it")
+    for fn in index.functions.values():
+        if (fn.hot_tagged and fn.module.startswith(config.hot_domain)
+                and fn.qualname not in hot_derived
+                and fn.qualname not in config.hot_manifest):
+            rep.report("SS502", fn.path, fn.line,
+                       f"'{fn.qualname}' carries a '# hot:' tag but the "
+                       "event loop cannot reach it")
+    # SS503 — reachable but untagged
+    for qualname in sorted(hot_derived):
+        fn = index.functions[qualname]
+        if fn.is_dunder or fn.name == "<module>":
+            continue
+        if fn.hot_tagged or qualname in config.hot_manifest:
+            continue
+        rep.report("SS503", fn.path, fn.line,
+                   f"'{qualname}' is reachable from the engine event "
+                   "loop but carries no hot tag")
+
+
+def _propagate_taint(graph: CallGraph, kinds: Optional[FrozenSet[str]],
+                     sanitizers: FrozenSet[str],
+                     executed_only: bool = False,
+                     ) -> Dict[str, Tuple[str, str]]:
+    """Fixpoint: qualname -> (source kind, origin qualname).
+
+    ``kinds=None`` means every source kind taints.  Taint does not
+    propagate *out of* a sanitizer (the function itself stays marked,
+    so direct-source checks still see it), and never along
+    name-fallback edges — they over-approximate reachability, which is
+    fine for closures but would smear taint across unrelated classes.
+    ``executed_only`` restricts the model to code that runs when the
+    function is *called*: sources/edges inside nested defs (closure
+    factories) are excluded.
+    """
+    tainted: Dict[str, Tuple[str, str]] = {}
+    for qualname, fn in graph.nodes.items():
+        for source in fn.sources:
+            if executed_only and source.nested:
+                continue
+            if kinds is None or source.kind in kinds:
+                tainted[qualname] = (source.kind, qualname)
+                break
+    rev = graph.predecessors()
+    frontier = [q for q in tainted if q not in sanitizers]
+    while frontier:
+        current = frontier.pop()
+        witness = tainted[current]
+        for edge in rev.get(current, ()):
+            if edge.fallback or (executed_only and edge.nested):
+                continue
+            src = edge.src
+            if src in tainted:
+                continue
+            tainted[src] = witness
+            if src not in sanitizers:
+                frontier.append(src)
+    return tainted
+
+
+def _check_taint(rep: _Reporter, graph: CallGraph, index: ProjectIndex,
+                 config: FlowConfig,
+                 tainted: Dict[str, Tuple[str, str]]) -> None:
+    sink_domain = tuple(config.taint_sink_domain)
+    for qualname, fn in index.functions.items():
+        if not fn.module.startswith(sink_domain):
+            continue
+        if qualname in config.taint_sanitizers or fn.name == "<module>":
+            continue
+        # direct sources the per-file rules do not already police
+        for source in fn.sources:
+            if source.kind in _DIRECT_SINK_KINDS:
+                rep.report("SS510", fn.path, source.line,
+                           f"'{qualname}' reads a nondeterminism source "
+                           f"({source.detail}) inside the deterministic "
+                           "domain")
+        # calls that cross out of the sink domain into tainted code
+        for edge in graph.successors(qualname):
+            if edge.fallback:
+                continue
+            info = tainted.get(edge.dst)
+            if info is None or edge.dst in config.taint_sanitizers:
+                continue
+            callee = index.functions.get(edge.dst)
+            if callee is not None and callee.module.startswith(sink_domain):
+                continue       # in-domain callee reported at its own site
+            kind, origin = info
+            rep.report("SS510", fn.path, edge.line,
+                       f"call to '{edge.dst}' reaches a nondeterminism "
+                       f"source ({kind} in '{origin}')")
+
+
+def _check_workers(rep: _Reporter, graph: CallGraph, index: ProjectIndex,
+                   config: FlowConfig, closure: Set[str]) -> None:
+    for qualname in sorted(closure):
+        fn = index.functions[qualname]
+        if fn.name == "<module>":
+            continue
+        mod = index.modules.get(fn.module)
+        module_names: Set[str] = set()
+        if mod is not None:
+            module_names = set(mod.global_vars) | set(mod.classes)
+        # SS601 — module-global writes
+        for gw in fn.global_writes:
+            definitely_global = gw.how in ("assign", "augassign")
+            if definitely_global or gw.name in module_names:
+                rep.report("SS601", fn.path, gw.line,
+                           f"'{qualname}' writes module-level state "
+                           f"'{gw.name}' ({gw.how}) and is reachable "
+                           "from a pool worker")
+        # SS602 — raw env reads outside the reviewed accessors
+        if qualname not in config.worker_env_api:
+            for source in fn.sources:
+                if source.kind == "env":
+                    rep.report("SS602", fn.path, source.line,
+                               f"'{qualname}' reads the environment "
+                               f"({source.detail}) outside WORKER_ENV_API "
+                               "and is reachable from a pool worker")
+
+
+def _check_import_time(rep: _Reporter, graph: CallGraph,
+                       index: ProjectIndex, config: FlowConfig) -> None:
+    envlike = _propagate_taint(graph, _ENVLIKE_KINDS, frozenset(),
+                               executed_only=True)
+    for mod in index.modules.values():
+        mfn = mod.module_level
+        if mfn is None:
+            continue
+        for edge in graph.successors(mfn.qualname):
+            if edge.kind != "call" or edge.fallback or edge.nested:
+                continue
+            info = envlike.get(edge.dst)
+            if info is None:
+                continue
+            kind, origin = info
+            rep.report("SS603", mod.path, edge.line,
+                       f"import-time call to '{edge.dst}' captures "
+                       f"{kind}-derived state (source in '{origin}'); "
+                       "persistent-pool workers freeze it at fork")
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def analyze_modules(modules: Sequence[ModuleFacts],
+                    config: Optional[FlowConfig] = None) -> FlowReport:
+    config = config or FlowConfig()
+    graph, index = build_graph(
+        modules, registry_resolvers=config.registry_resolvers)
+    rep = _Reporter(index)
+
+    _check_manifests(rep, index, config)
+    hot_derived = _derive_hot(graph, config)
+    _check_hot_path(rep, graph, index, config, hot_derived)
+    tainted = _propagate_taint(graph, None, config.taint_sanitizers)
+    _check_taint(rep, graph, index, config, tainted)
+    worker_closure = graph.reachable(config.worker_roots)
+    _check_workers(rep, graph, index, config, worker_closure)
+    _check_import_time(rep, graph, index, config)
+
+    rep.findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return FlowReport(findings=rep.findings, graph=graph, index=index,
+                      hot_derived=hot_derived,
+                      worker_closure=worker_closure, tainted=tainted,
+                      used_suppressions=rep.used)
+
+
+def run_flow(paths: Iterable[Union[str, Path]],
+             config: Optional[FlowConfig] = None) -> FlowReport:
+    """Extract + analyze every ``.py`` file under ``paths``."""
+    modules = [extract_module(p) for p in _iter_python_files(paths)]
+    return analyze_modules(modules, config=config)

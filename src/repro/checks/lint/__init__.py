@@ -11,19 +11,27 @@ See :mod:`repro.checks.lint.rules` for the rule catalogue and the
 
 from __future__ import annotations
 
-from .engine import (Finding, format_finding, lint_file, lint_source,
-                     module_name_for, run_lint)
-from .rules import ALL_RULE_IDS, HOT_PATH_MANIFEST, RULES, Rule
+from .engine import (Finding, LintResult, audit_suppressions, format_finding,
+                     lint_file, lint_file_detailed, lint_source,
+                     lint_source_detailed, module_name_for, run_lint,
+                     run_lint_detailed)
+from .rules import ALL_RULE_IDS, HOT_PATH_MANIFEST, RULES, Rule, lookup_rule
 
 __all__ = [
     "ALL_RULE_IDS",
     "Finding",
     "HOT_PATH_MANIFEST",
+    "LintResult",
     "RULES",
     "Rule",
+    "audit_suppressions",
     "format_finding",
     "lint_file",
+    "lint_file_detailed",
     "lint_source",
+    "lint_source_detailed",
+    "lookup_rule",
     "module_name_for",
     "run_lint",
+    "run_lint_detailed",
 ]

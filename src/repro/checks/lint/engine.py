@@ -20,11 +20,13 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from .rules import (ALL_RULE_IDS, ENGINE_MODULES, HOT_PATH_MANIFEST, RULES,
-                    TRACE_CACHE_EXEMPT_MODULES, TRACE_GENERATOR_NAMES, Rule)
+                    TRACE_CACHE_EXEMPT_MODULES, TRACE_GENERATOR_NAMES, Rule,
+                    lookup_rule)
 
 _SUPPRESS_RE = re.compile(
     r"#\s*simsan:\s*(?P<skipfile>skip-file\b)?(?:skip=(?P<ids>[A-Za-z0-9, ]+))?"
 )
+_RULE_ID_RE = re.compile(r"SS\d{3}$")
 _HOT_TAG_RE = re.compile(r"#\s*hot:")
 
 #: process-global ``random`` functions that bypass seeding
@@ -63,7 +65,7 @@ class Finding:
 
     @property
     def rule(self) -> Rule:
-        return RULES[self.rule_id]
+        return lookup_rule(self.rule_id)
 
 
 def format_finding(finding: Finding, fix_hints: bool = False) -> str:
@@ -128,7 +130,9 @@ def _collect_suppressions(lines: Sequence[str]) -> Tuple[bool, Dict[int, Set[str
         ids = match.group("ids")
         if ids:
             wanted = {part.strip().upper() for part in ids.split(",")}
-            per_line[lineno] = {i for i in wanted if i in ALL_RULE_IDS}
+            # keep every SSnnn-shaped id (lint, flow, or a typo): the
+            # unused-suppression audit (SS303) owns rejecting bad ones
+            per_line[lineno] = {i for i in wanted if _RULE_ID_RE.match(i)}
     return skip_file, per_line
 
 
@@ -257,6 +261,7 @@ class _Linter(ast.NodeVisitor):
         self.lines = lines
         self.suppressions = suppressions
         self.findings: List[Finding] = []
+        self.used_suppressions: Set[Tuple[int, str]] = set()
 
         # import tracking -------------------------------------------------
         self.random_aliases: Set[str] = set()
@@ -280,6 +285,7 @@ class _Linter(ast.NodeVisitor):
             return
         line = getattr(node, "lineno", 1)
         if rule_id in self.suppressions.get(line, ()):
+            self.used_suppressions.add((line, rule_id))
             return
         self.findings.append(Finding(
             self.path, line, getattr(node, "col_offset", 0), rule_id, message))
@@ -557,27 +563,58 @@ class _Linter(ast.NodeVisitor):
 # ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
-def lint_source(source: str, module: str = "<string>",
-                path: str = "<string>") -> List[Finding]:
-    """Lint a source string as if it were module ``module``."""
+@dataclass
+class LintResult:
+    """Per-file lint outcome, including suppression bookkeeping.
+
+    ``suppressions`` maps line -> rule IDs suppressed there; ``used``
+    holds the ``(line, rule_id)`` pairs that actually swallowed a lint
+    finding.  The difference feeds the SS303 unused-suppression audit
+    (:func:`audit_suppressions`), which also credits suppressions
+    consumed by the flow analysis (``repro.checks.flow``).
+    """
+
+    path: str
+    module: str
+    skip_file: bool
+    findings: List[Finding]
+    suppressions: Dict[int, Set[str]]
+    used: Set[Tuple[int, str]]
+
+
+def lint_source_detailed(source: str, module: str = "<string>",
+                         path: str = "<string>") -> LintResult:
+    """Lint a source string, returning findings plus suppression usage."""
     lines = source.splitlines()
     skip_file, suppressions = _collect_suppressions(lines)
     if skip_file:
-        return []
+        return LintResult(path, module, True, [], suppressions, set())
     tree = ast.parse(source, filename=path)
     linter = _Linter(module, path, lines, suppressions)
     linter.visit(tree)
     linter.findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
-    return linter.findings
+    return LintResult(path, module, False, linter.findings, suppressions,
+                      linter.used_suppressions)
 
 
-def lint_file(path: Union[str, Path],
-              module: Optional[str] = None) -> List[Finding]:
+def lint_source(source: str, module: str = "<string>",
+                path: str = "<string>") -> List[Finding]:
+    """Lint a source string as if it were module ``module``."""
+    return lint_source_detailed(source, module=module, path=path).findings
+
+
+def lint_file_detailed(path: Union[str, Path],
+                       module: Optional[str] = None) -> LintResult:
     path = Path(path)
     if module is None:
         module = module_name_for(path)
     source = path.read_text(encoding="utf-8")
-    return lint_source(source, module=module, path=str(path))
+    return lint_source_detailed(source, module=module, path=str(path))
+
+
+def lint_file(path: Union[str, Path],
+              module: Optional[str] = None) -> List[Finding]:
+    return lint_file_detailed(path, module=module).findings
 
 
 def _iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
@@ -595,9 +632,56 @@ def _iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
     return files
 
 
+def run_lint_detailed(paths: Iterable[Union[str, Path]]) -> List[LintResult]:
+    """Lint every ``.py`` file under ``paths``, keeping per-file results."""
+    return [lint_file_detailed(path) for path in _iter_python_files(paths)]
+
+
 def run_lint(paths: Iterable[Union[str, Path]]) -> List[Finding]:
     """Lint every ``.py`` file under ``paths`` (files or directories)."""
     findings: List[Finding] = []
-    for path in _iter_python_files(paths):
-        findings.extend(lint_file(path))
+    for result in run_lint_detailed(paths):
+        findings.extend(result.findings)
+    return findings
+
+
+def audit_suppressions(
+    results: Iterable[LintResult],
+    flow_used: Optional[Set[Tuple[str, int, str]]] = None,
+    flow_ran: bool = False,
+) -> List[Finding]:
+    """Emit SS303 findings for suppression comments that suppress nothing.
+
+    ``flow_used`` is ``FlowReport.used_suppressions`` — ``(path, line,
+    rule_id)`` triples the flow analysis consumed.  When the flow pass
+    did not run (``flow_ran=False``) suppressions naming flow rule IDs
+    are given the benefit of the doubt; IDs in neither catalogue
+    (typos) are flagged unconditionally.  Skip-file files are exempt:
+    their suppressions are unreachable by construction.
+    """
+    from ..flow.rules import FLOW_RULE_IDS  # lazy: flow imports this package
+
+    flow_used = flow_used or set()
+    findings: List[Finding] = []
+    for res in results:
+        if res.skip_file:
+            continue
+        for line in sorted(res.suppressions):
+            ids = res.suppressions[line]
+            if "SS303" in ids:
+                continue  # the audit itself is suppressed at this line
+            for rule_id in sorted(ids):
+                if (line, rule_id) in res.used:
+                    continue
+                if (res.path, line, rule_id) in flow_used:
+                    continue
+                if rule_id in FLOW_RULE_IDS and not flow_ran:
+                    continue
+                known = rule_id in ALL_RULE_IDS or rule_id in FLOW_RULE_IDS
+                detail = ("suppresses nothing on this line" if known
+                          else "names an unknown rule ID")
+                findings.append(Finding(
+                    res.path, line, 0, "SS303",
+                    f"suppression 'skip={rule_id}' {detail}"))
+    findings.sort(key=lambda f: (f.path, f.line, f.message))
     return findings

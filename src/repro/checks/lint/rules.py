@@ -142,6 +142,15 @@ _RULES = [
              "KeyboardInterrupt/SystemExit and hides simulator bugs",
         scope="all",
     ),
+    Rule(
+        id="SS303",
+        name="unused-suppression",
+        summary="suppression comment no longer suppresses any finding",
+        hint="remove the '# simsan: skip=<ID>' comment (or fix a "
+             "misspelled rule ID); stale suppressions hide future "
+             "regressions at that line",
+        scope="all",
+    ),
     # ------------------------------------------------------------------
     # SS4xx — sweep-throughput discipline (the PR 7 amortization
     # invariants): harness code must not regenerate what the
@@ -165,14 +174,28 @@ RULES: Dict[str, Rule] = {r.id: r for r in _RULES}
 
 ALL_RULE_IDS: FrozenSet[str] = frozenset(RULES)
 
+
+def lookup_rule(rule_id: str) -> Rule:
+    """Resolve a rule ID across the lint and flow catalogues."""
+    rule = RULES.get(rule_id)
+    if rule is not None:
+        return rule
+    from ..flow.rules import FLOW_RULES   # lazy: flow imports this module
+    return FLOW_RULES[rule_id]
+
 #: Functions on the simulator's hot path (one entry per event or per
 #: request), addressed by dotted qualname.  ``# hot:`` comments on a
-#: ``def`` line are the in-file equivalent; this manifest covers the
-#: core set so the tagging cannot silently drift.
+#: ``def`` line are the in-file equivalent.  Since PR 8 this manifest
+#: is *derived*: ``repro check --flow`` recomputes event-loop
+#: reachability from the call graph and fails on drift in either
+#: direction (SS502 stale entry / SS503 missing entry), so the set
+#: below is exactly the reachable, non-dunder hot closure.
 HOT_PATH_MANIFEST: FrozenSet[str] = frozenset({
     "repro.sim.engine.Engine.post",
     "repro.sim.engine.Engine.run",
     "repro.sim.engine.Engine.step",
+    "repro.sim.engine.Engine._run_watched",
+    "repro.sim.engine.Engine._fire_watchers",
     "repro.sim.cache.Cache.access",
     "repro.sim.cache.Cache._lookup",
     "repro.sim.cache.Cache._handle_hit",
@@ -180,23 +203,49 @@ HOT_PATH_MANIFEST: FrozenSet[str] = frozenset({
     "repro.sim.cache.Cache._start_miss",
     "repro.sim.cache.Cache._fill_from_child",
     "repro.sim.cache.Cache._install",
+    "repro.sim.cache.Cache._writeback",
+    "repro.sim.cache.Cache._retry_pending",
+    "repro.sim.cache.Cache._issue_prefetch",
+    "repro.sim.cache.Cache._drop_mapping",
+    "repro.sim.cache.Cache.invalidate",
+    "repro.sim.cache.Cache.block_addr",
     "repro.sim.cpu.Core._dispatch",
     "repro.sim.cpu.Core._complete",
+    "repro.sim.cpu.Core._complete_cb",
     "repro.sim.cpu.Core._retire",
     "repro.sim.dram.DRAM.access",
+    "repro.sim.dram.DRAM._route",
     "repro.sim.memctrl.FRFCFSController.access",
     "repro.sim.memctrl.FRFCFSController._issue",
+    "repro.sim.memctrl.FRFCFSController._route",
+    "repro.sim.memctrl.FRFCFSController._select",
+    "repro.sim.memctrl.FRFCFSController._update_drain_state",
+    "repro.sim.memctrl.FRFCFSController._start",
+    "repro.sim.memctrl.FRFCFSController._complete",
+    "repro.sim.mshr.MSHREntry.merge",
+    "repro.sim.mshr.MSHR.merge",
+    "repro.sim.request.MemRequest.respond",
+    "repro.core.care.CAREPolicy.on_evict",
+    "repro.core.pmc.pmc_bin",
     "repro.core.pmc._CoreMonitor.accrue",
+    "repro.core.pmc._CoreMonitor.finish_miss",
     "repro.core.pmc.ConcurrencyMonitor.on_access",
+    "repro.core.pmc.ConcurrencyMonitor.on_hit_observed",
     "repro.core.pmc.ConcurrencyMonitor._base_end",
     "repro.core.pmc.ConcurrencyMonitor.on_miss_start",
     "repro.core.pmc.ConcurrencyMonitor.on_miss_end",
+    "repro.core.sht.SignatureHistoryTable._index",
+    "repro.core.sht.SignatureHistoryTable.rc_decrement",
+    "repro.core.sht.SignatureHistoryTable.pd_increment",
+    "repro.core.sht.SignatureHistoryTable.pd_decrement",
     # Batched backend (DESIGN.md §13) — same per-event discipline.
+    "repro.sim.batched.engine.EpochEngine.run",
     "repro.sim.batched.engine.EpochEngine.post",
     "repro.sim.batched.engine.EpochEngine.step",
     "repro.sim.batched.engine.EpochEngine._run_fast",
     "repro.sim.batched.engine.EpochEngine._run_watched",
     "repro.sim.batched.engine.EpochEngine._run_general",
+    "repro.sim.batched.engine.EpochEngine._fire_watchers",
     "repro.sim.batched.cache.BatchedCache.access",
     "repro.sim.batched.cache.BatchedCache._lookup",
     "repro.sim.batched.cache.BatchedCache._start_miss",
@@ -204,6 +253,9 @@ HOT_PATH_MANIFEST: FrozenSet[str] = frozenset({
     "repro.sim.batched.cache.BatchedCache._install",
     "repro.sim.batched.cache.BatchedCache._retry_pending",
     "repro.sim.batched.cache.BatchedCache._issue_prefetch",
+    "repro.sim.batched.cache.BatchedCache._writeback",
+    "repro.sim.batched.cache.BatchedCache._drop_mapping",
+    "repro.sim.batched.cache.BatchedCache.invalidate",
     "repro.sim.batched.cpu.BatchedCore._dispatch",
     "repro.sim.batched.cpu.BatchedCore._complete_cb",
 })

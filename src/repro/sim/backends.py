@@ -30,7 +30,10 @@ drags in numpy; third parties may :func:`register_backend` their own.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+if TYPE_CHECKING:
+    from .system import System
 
 #: A backend factory: ``factory(cfg, traces, **kwargs) -> System``-like.
 BackendFactory = Callable[..., object]
@@ -103,6 +106,7 @@ def resolve_engine(engine: Optional[str] = None, cfg: Optional[object] = None) -
     return cfg_engine or DEFAULT_BACKEND
 
 
-def build_system(cfg, traces, *, engine: Optional[str] = None, **kwargs):
+def build_system(cfg, traces, *, engine: Optional[str] = None,
+                 **kwargs) -> "System":
     """Construct the selected backend's system (does not run it)."""
     return get_backend(resolve_engine(engine, cfg))(cfg, traces, **kwargs)

@@ -1,0 +1,35 @@
+"""Fixture event loop: a root, a stored bound method, and sched sites."""
+
+
+def helper():
+    return 0
+
+
+class Engine:
+    __slots__ = ("queue", "_cb")
+
+    def __init__(self):
+        self.queue = []
+        self._cb = self._tick   # stored bound method (resolved by flow)
+
+    def post(self, when, fn):
+        self.queue.append((when, fn))
+
+    def run(self):  # hot: fixture entry point
+        while self.queue:
+            _, fn = self.queue.pop()
+            fn()
+        self._cb()
+
+    def _tick(self):  # hot: reached through the stored bound method
+        return helper()
+
+
+def on_event():  # hot: scheduled onto the engine in setup()
+    return 1
+
+
+def setup():
+    eng = Engine()
+    eng.post(5, on_event)
+    return eng

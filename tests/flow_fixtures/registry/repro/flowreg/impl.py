@@ -1,0 +1,35 @@
+"""Fixture backends and a decorator-registered policy."""
+
+from .registry import register
+
+
+class ImplA:
+    __slots__ = ("state",)
+
+    def __init__(self):
+        self.state = 0
+
+    def ping(self):
+        return "a"
+
+
+class ImplB:
+    __slots__ = ("state",)
+
+    def __init__(self):
+        self.state = 1
+
+    def ping(self):
+        return "b"
+
+
+@register("care")
+class CarePolicy:
+    __slots__ = ("hits",)
+
+    def __init__(self):
+        self.hits = 0
+
+    def on_hit(self):
+        self.hits += 1
+        return self.hits

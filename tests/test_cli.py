@@ -151,6 +151,59 @@ def test_check_command_repo_tree_is_clean(capsys):
     assert main(["check", str(src)]) == 0
 
 
+def test_check_flow_repo_tree_is_clean(capsys):
+    from pathlib import Path
+    src = Path(__file__).resolve().parent.parent / "src"
+    assert main(["check", "--flow", str(src)]) == 0
+    assert "clean (lint+flow)" in capsys.readouterr().out
+
+
+def test_check_format_json(capsys, tmp_path):
+    import json
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def merge(dst, extras=[]):\n    dst.extend(extras)\n")
+    assert main(["check", "--format", "json", str(dirty)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "repro.simsan.findings/v1"
+    assert payload["clean"] is False
+    assert payload["findings"][0]["rule"] == "SS301"
+    assert payload["findings"][0]["line"] == 1
+
+
+def test_check_format_github_annotations(capsys, tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def merge(dst, extras=[]):\n    dst.extend(extras)\n")
+    assert main(["check", "--format", "github", str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert out.startswith("::error file=")
+    assert f"file={dirty}" in out and "line=1" in out and "title=SS301" in out
+
+
+def test_check_call_graph_export_json_and_dot(capsys, tmp_path):
+    from pathlib import Path
+    import json
+    src = Path(__file__).resolve().parent.parent / "src"
+    graph_json = tmp_path / "graph.json"
+    assert main(["check", "--call-graph", str(graph_json), str(src)]) == 0
+    payload = json.loads(graph_json.read_text())
+    assert payload["schema"] == "repro.flow.call-graph/v1"
+    assert any(n["hot"] for n in payload["nodes"])
+    assert any(n["worker"] for n in payload["nodes"])
+    graph_dot = tmp_path / "graph.dot"
+    assert main(["check", "--call-graph", str(graph_dot), str(src)]) == 0
+    assert graph_dot.read_text().startswith("digraph")
+
+
+def test_check_flow_detects_seeded_unsafe_worker(capsys, tmp_path):
+    # a stale suppression is the one flow/lint defect a standalone file
+    # can carry (flow rules need the real manifests); SS303 must fire
+    stale = tmp_path / "stale.py"
+    stale.write_text("def add(a, b):\n"
+                     "    return a + b   # simsan: skip=SS301\n")
+    assert main(["check", str(stale)]) == 1
+    assert "SS303" in capsys.readouterr().out
+
+
 # ----------------------------------------------------------------------
 # Fault tolerance: chaos sweeps, resume, fsck, incident reports
 # ----------------------------------------------------------------------
