@@ -8,6 +8,7 @@ Commands
 ``hwcost``     print the Table V / VI hardware-cost accounting
 ``run``        simulate one workload under one or more LLC policies
 ``sweep``      run a named figure sweep through the parallel runner
+``campaign``   declarative paper-scale campaigns (run|status|report|list)
 ``perf``       simulation-kernel throughput microbenchmarks (BENCH_perf.json)
 ``report``     render a stored run/sweep as a markdown or JSON report
 ``store``      inspect / repair the persistent result store (``fsck``)
@@ -84,13 +85,17 @@ def _cmd_policies(_args) -> int:
 
 
 def _cmd_workloads(_args) -> int:
-    from .workloads import SPEC_BENCHMARKS, gap_workload_names
+    from .workloads import SERVE_WORKLOADS, SPEC_BENCHMARKS, gap_workload_names
     print("SPEC-like workloads (Table VIII):")
     for name, bench in SPEC_BENCHMARKS.items():
         print(f"  {name:18s} {bench.suite}  paper MPKI {bench.paper_mpki:6.2f}"
               f"  ({bench.pattern_class})")
     print("\nGAP workloads (Table IX graphs x 5 kernels):")
     print("  " + "  ".join(gap_workload_names()))
+    print("\nProduction-traffic workloads (serving families):")
+    for name, work in SERVE_WORKLOADS.items():
+        print(f"  {name:18s} {work.family:6s} target MPKI "
+              f"{work.target_mpki:6.2f}  ({work.pattern_class})")
     return 0
 
 
@@ -234,7 +239,7 @@ def _cmd_run(args) -> int:
     from .analysis import format_table
     from .harness import ExperimentSpec, run_many
     from .harness.supervise import SweepFailedError, SweepInterrupted
-    from .workloads import gap_workload_names
+    from .workloads import gap_workload_names, serve_names
 
     if args.sanitize:
         _enable_sanitizer()
@@ -242,6 +247,8 @@ def _cmd_run(args) -> int:
     obs_on = _enable_obs(args)
     if args.workload in gap_workload_names():
         suite = "gap"
+    elif args.workload in serve_names():
+        suite = "serve"
     else:
         suite = "spec"
     store = None if args.no_store else _default_store_arg()
@@ -369,6 +376,137 @@ def _cmd_sweep(args) -> int:
     return _finish_supervised(sup, incidents, failures, args.obs_dir)
 
 
+def _resolve_campaign(args):
+    """Load + optionally slice the campaign named by the CLI args."""
+    from .harness.campaign import apply_slice, find_campaign, load_campaign
+    campaign = load_campaign(find_campaign(args.campaign))
+    if getattr(args, "slice", None):
+        campaign = apply_slice(campaign, args.slice)
+    return campaign
+
+
+def _campaign_store(args):
+    from .harness.store import ResultStore, default_store
+    if getattr(args, "store", None):
+        return ResultStore(args.store)
+    return default_store()
+
+
+def _cmd_campaign(args) -> int:
+    import json
+
+    from .harness.campaign import (CampaignError, available_campaigns,
+                                   build_campaign_report, campaign_status,
+                                   format_status, load_campaign,
+                                   render_campaign_markdown)
+
+    if args.campaign_command == "list":
+        paths = available_campaigns()
+        if not paths:
+            print("no campaigns under benchmarks/campaigns/")
+            return 0
+        for path in paths:
+            try:
+                campaign = load_campaign(path)
+            except CampaignError as exc:
+                print(f"{path}: INVALID ({exc})")
+                continue
+            slices = ", ".join(sorted(campaign.slices)) or "-"
+            print(f"{campaign.name:16s} {campaign.points():6d} point(s) "
+                  f"in {len(campaign.grids)} grid(s)  slices: {slices}")
+        return 0
+
+    try:
+        campaign = _resolve_campaign(args)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.campaign_command == "status":
+        from pathlib import Path
+
+        from .harness.supervise import SweepManifest
+        store = _campaign_store(args)
+        manifest_counts = None
+        manifest_path = args.manifest or campaign.default_manifest()
+        if Path(manifest_path).exists():
+            manifest_counts = SweepManifest.load(manifest_path).counts()
+        status = campaign_status(campaign, store,
+                                 manifest_counts=manifest_counts)
+        if args.json:
+            print(json.dumps(status, sort_keys=True, indent=2))
+        else:
+            print(format_status(status))
+        return 0
+
+    if args.campaign_command == "report":
+        from pathlib import Path
+        store = _campaign_store(args)
+        if store is None:
+            print("error: no result store (set REPRO_RESULT_STORE or pass "
+                  "--store PATH)", file=sys.stderr)
+            return 2
+        report = build_campaign_report(campaign, store,
+                                       baseline=args.baseline)
+        if args.format == "json":
+            text = json.dumps(report, sort_keys=True, indent=2) + "\n"
+        else:
+            text = render_campaign_markdown(report)
+        if args.out:
+            out = Path(args.out)
+            out.write_text(text)
+            print(f"[campaign] wrote {out}", file=sys.stderr)
+        else:
+            print(text, end="")
+        return 0
+
+    # -- campaign run ---------------------------------------------------
+    from .harness.runner import run_many, session_stats
+    from .harness.supervise import SweepFailedError, SweepInterrupted
+
+    if args.engine:
+        os.environ["REPRO_ENGINE"] = args.engine
+    if args.sanitize:
+        _enable_sanitizer()
+    _enable_trace_cache(args)
+    # The campaign is a standing resumable sweep: checkpoint to the
+    # campaign's own manifest unless the caller picked another path.
+    if args.manifest is None:
+        args.manifest = campaign.default_manifest()
+    specs = campaign.specs()
+    print(f"[campaign] {campaign.name}"
+          + (f" · slice {campaign.slice_name}" if campaign.slice_name else "")
+          + f": {len(specs)} point(s) across {len(campaign.grids)} grid(s)",
+          file=sys.stderr)
+    try:
+        ctx, incidents = _supervision_from_args(args, tag=campaign.tag())
+    except ValueError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    store = _default_store_arg()
+    try:
+        with ctx as sup:
+            try:
+                run_many(specs, workers=args.workers, store=store,
+                         progress=not args.quiet)
+            except SweepFailedError as exc:  # --fail-fast
+                return _finish_supervised(sup, incidents, exc.failures,
+                                          args.obs_dir)
+            failures = list(sup.failures)
+    except SweepInterrupted as exc:
+        print(f"\n[campaign] interrupted: {exc}", file=sys.stderr)
+        from .obs.incidents import maybe_write
+        maybe_write(incidents, args.obs_dir)
+        return 130
+    status = campaign_status(
+        campaign, _campaign_store(args),
+        manifest_counts=sup.manifest.counts() if sup.manifest else None)
+    print(format_status(status))
+    if session_stats.sweeps:
+        print(f"[campaign] {session_stats.sweeps[-1].summary()}")
+    return _finish_supervised(sup, incidents, failures, args.obs_dir)
+
+
 def _cmd_perf(args) -> int:
     import json
 
@@ -404,6 +542,35 @@ def _cmd_perf(args) -> int:
         if not args.quiet:
             print(f"[perf] wrote {path}", file=sys.stderr)
         return 0
+    if args.gate:
+        from .harness.perfbench import (DEFAULT_GATE_THRESHOLD, GATE_ENV,
+                                        GATE_THRESHOLD_ENV,
+                                        gate_sweep_regression)
+        if os.environ.get(GATE_ENV, "").strip().lower() in ("off", "0"):
+            print(f"[perf] gate skipped ({GATE_ENV}={os.environ[GATE_ENV]})",
+                  file=sys.stderr)
+            return 0
+        base_path, fresh_path = args.gate
+        try:
+            with open(base_path) as handle:
+                base = json.load(handle)
+            with open(fresh_path) as handle:
+                fresh = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        threshold = args.gate_threshold
+        if threshold is None:
+            threshold = float(os.environ.get(GATE_THRESHOLD_ENV,
+                                             DEFAULT_GATE_THRESHOLD))
+        try:
+            status, message = gate_sweep_regression(base, fresh,
+                                                    threshold=threshold)
+        except ValueError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(f"[perf] gate {status}: {message}")
+        return 1 if status == "fail" else 0
     if args.diff:
         base_path, fresh_path = args.diff
         try:
@@ -755,11 +922,87 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--diff", nargs=2, metavar=("BASE", "FRESH"),
                       help="print a markdown trend table comparing two "
                            "payload files instead of running the suite")
+    perf.add_argument("--gate", nargs=2, metavar=("BASE", "FRESH"),
+                      help="fail (exit 1) when FRESH's sweep points/s "
+                           "regresses more than the gate threshold vs "
+                           "BASE's matching grid; skip cleanly when the "
+                           "grids are not comparable or REPRO_PERF_GATE=off")
+    perf.add_argument("--gate-threshold", type=float, default=None,
+                      metavar="FRAC",
+                      help="tolerated fractional drop for --gate (default "
+                           "$REPRO_PERF_GATE_THRESHOLD or 0.25)")
     perf.add_argument("--sweep", action="store_true",
                       help="run the sweep-throughput macro-benchmark "
                            "(warm pool + trace cache vs. spawn pool) "
                            "instead of the kernel microbenchmarks; "
                            "merged into the payload's 'sweep' section")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="declarative paper-scale evaluation campaigns "
+             "(benchmarks/campaigns/)")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    def _campaign_common(p, with_slice: bool = True) -> None:
+        p.add_argument("campaign", nargs="?", default=None,
+                       help="campaign name under benchmarks/campaigns/ or "
+                            "a spec file path (default care-paper)")
+        if with_slice:
+            p.add_argument("--slice", default=None, metavar="NAME",
+                           help="run/inspect a named slice of the campaign "
+                                "(e.g. ci-smoke, nightly)")
+
+    crun = campaign_sub.add_parser(
+        "run", help="execute the campaign grid as a resumable "
+                    "supervised sweep")
+    _campaign_common(crun)
+    crun.add_argument("--workers", type=int, default=None,
+                      help="worker processes (default $REPRO_WORKERS or 1; "
+                           "0 = one per CPU)")
+    crun.add_argument("--quiet", action="store_true",
+                      help="suppress per-point progress lines")
+    crun.add_argument("--sanitize", action="store_true",
+                      help="enable the runtime invariant sanitizer for "
+                           "every freshly simulated point")
+    crun.add_argument("--engine", default=None, metavar="NAME",
+                      help="engine backend for fresh simulation "
+                           "(exports REPRO_ENGINE; bit-identical)")
+    crun.add_argument("--trace-cache", default=None, metavar="DIR",
+                      help="content-addressed trace cache directory, or "
+                           "'off' (equivalent to REPRO_TRACE_CACHE)")
+    _add_supervise_args(crun, with_manifest=True)
+    _add_obs_args(crun)
+
+    cstatus = campaign_sub.add_parser(
+        "status", help="coverage of the campaign vs. the result store "
+                       "and manifest")
+    _campaign_common(cstatus)
+    cstatus.add_argument("--store", default=None, metavar="PATH",
+                         help="result-store root (default: the process "
+                              "default store / $REPRO_RESULT_STORE)")
+    cstatus.add_argument("--manifest", default=None, metavar="PATH",
+                         help="manifest path (default: the campaign's own "
+                              "<tag>.manifest.json)")
+    cstatus.add_argument("--json", action="store_true",
+                         help="emit the status dict as JSON")
+
+    creport = campaign_sub.add_parser(
+        "report", help="render the per-figure reproduction tables from "
+                       "stored results")
+    _campaign_common(creport)
+    creport.add_argument("--store", default=None, metavar="PATH",
+                         help="result-store root (default: the process "
+                              "default store / $REPRO_RESULT_STORE)")
+    creport.add_argument("--baseline", default=None,
+                         help="policy speedups are normalized to "
+                              "(default: the campaign's baseline, lru)")
+    creport.add_argument("--format", choices=["md", "json"], default="md")
+    creport.add_argument("--out", default=None, metavar="PATH",
+                         help="write to PATH instead of stdout")
+
+    campaign_sub.add_parser(
+        "list", help="list campaign files under benchmarks/campaigns/")
 
     report = sub.add_parser(
         "report", help="render a stored run/sweep as markdown or JSON")
@@ -825,6 +1068,7 @@ def main(argv: List[str] = None) -> int:
         "hwcost": _cmd_hwcost,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "campaign": _cmd_campaign,
         "perf": _cmd_perf,
         "report": _cmd_report,
         "store": _cmd_store,

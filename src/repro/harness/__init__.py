@@ -2,6 +2,19 @@
 result store, figure sweeps, and the standalone cache sim."""
 
 from .cachesim import CacheSimResult, simulate_cache
+from .campaign import (
+    Campaign,
+    CampaignError,
+    CampaignGrid,
+    apply_slice,
+    available_campaigns,
+    build_campaign_report,
+    campaign_status,
+    find_campaign,
+    load_campaign,
+    parse_campaign,
+    render_campaign_markdown,
+)
 from .replication import pairwise_verdicts, replicated_speedups
 from .scale import BenchScale, get_scale, scale_override, set_scale
 from .spec import ExperimentSpec
@@ -53,6 +66,10 @@ def __getattr__(name: str):
 
 __all__ = [
     "CacheSimResult", "simulate_cache",
+    "Campaign", "CampaignError", "CampaignGrid", "apply_slice",
+    "available_campaigns", "build_campaign_report", "campaign_status",
+    "find_campaign", "load_campaign", "parse_campaign",
+    "render_campaign_markdown",
     "pairwise_verdicts", "replicated_speedups",
     "BenchScale", "get_scale", "set_scale", "scale_override",
     "ExperimentSpec",

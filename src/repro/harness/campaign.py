@@ -1,0 +1,508 @@
+"""Declarative evaluation campaigns: the paper's full grid as data.
+
+A *campaign* is a versioned spec file (JSON, or TOML on Python >= 3.11)
+under ``benchmarks/campaigns/`` describing the mix x cores x policy
+grids behind the paper's figures.  ``python -m repro campaign`` expands
+it into :class:`~repro.harness.spec.ExperimentSpec` points, executes
+them as one standing resumable mega-sweep on the existing manifest +
+result-store + warm-pool machinery, and renders the figure/table
+reproduction (speedup-over-LRU geomeans, MPKI deltas, PMC breakdowns)
+per grid through the :mod:`repro.obs.report` aggregator.
+
+Spec format (all keys lowercase; ``defaults`` apply to every grid)::
+
+    {
+      "schema": "repro.campaign/v1",
+      "name": "care-paper",
+      "description": "...",
+      "defaults": {"records": 6000, "seed": 3, "preset": "default"},
+      "grids": [
+        {"id": "fig07", "figure": "Fig. 7", "title": "...",
+         "suite": "spec", "workloads": "@spec",
+         "policies": ["lru", "care"], "cores": [4], "prefetch": [true]},
+        {"id": "fig10", "figure": "Fig. 10", "suite": "mix",
+         "mixes": 100, "policies": ["lru", "care"], "cores": [4]}
+      ],
+      "slices": {
+        "ci-smoke": {"grids": ["fig07"], "max_workloads": 2,
+                     "records": 300, "policies": ["lru", "care"]}
+      }
+    }
+
+Workload selectors: ``@spec`` (all 30 Table VIII benchmarks),
+``@spec-fig5`` (the 16 Figure 5 workloads), ``@gap`` (Table IX),
+``@serve`` (production-traffic families), ``@serve-<family>`` (one
+family), or an explicit name list.  A *slice* is a named shrink of the
+same campaign: it restricts which grids run and caps/overrides their
+axes (``max_workloads``/``max_mixes`` take evenly strided samples so a
+slice keeps the full diversity spread), which is how the gating CI
+smoke slice and the nightly slice stay honest subsets of the committed
+paper-scale grid.
+
+Expansion is deterministic, so the same spec + slice always produces
+the same point set in the same order; the sweep manifest keys points by
+spec content hash, which is what makes interrupted campaigns resumable
+(``--resume``) across processes and nights.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import (Any, Dict, Iterable, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
+
+from .spec import CONFIG_PRESETS, ExperimentSpec
+
+#: accepted campaign schema tag (bump on incompatible format changes)
+CAMPAIGN_SCHEMA = "repro.campaign/v1"
+
+#: where named campaigns live, relative to the repo root / cwd
+CAMPAIGNS_DIR = Path("benchmarks") / "campaigns"
+
+#: the campaign used when the CLI gets no spec argument
+DEFAULT_CAMPAIGN = "care-paper"
+
+_GRID_KEYS = {"id", "title", "figure", "suite", "workloads", "policies",
+              "cores", "prefetch", "records", "seed", "preset", "mixes"}
+_SLICE_KEYS = {"grids", "max_workloads", "max_mixes", "records", "cores",
+               "policies", "prefetch", "workers"}
+
+
+class CampaignError(ValueError):
+    """A campaign file failed validation (CLI maps this to exit 2)."""
+
+
+def _strided_sample(seq: Sequence, count: int) -> List:
+    """Evenly strided subset preserving order (diversity over prefix)."""
+    if count >= len(seq):
+        return list(seq)
+    if count < 1:
+        return []
+    step = len(seq) / count
+    picked = []
+    for i in range(count):
+        item = seq[int(i * step)]
+        if item not in picked:
+            picked.append(item)
+    return picked
+
+
+def resolve_workloads(selector: Union[str, Sequence[str]]) -> List[str]:
+    """Expand a workload selector (``@spec``/``@gap``/... or a list)."""
+    from ..workloads import (FIG5_WORKLOADS, SERVE_FAMILIES, SERVE_WORKLOADS,
+                             gap_workload_names, serve_names, spec_names)
+    if isinstance(selector, str):
+        if selector == "@spec":
+            return spec_names()
+        if selector == "@spec-fig5":
+            return list(FIG5_WORKLOADS)
+        if selector == "@gap":
+            return gap_workload_names()
+        if selector == "@serve":
+            return serve_names()
+        if selector.startswith("@serve-"):
+            family = selector[len("@serve-"):]
+            if family not in SERVE_FAMILIES:
+                raise CampaignError(
+                    f"unknown serving family {family!r} in {selector!r}; "
+                    f"families: {list(SERVE_FAMILIES)}")
+            return [n for n, w in SERVE_WORKLOADS.items()
+                    if w.family == family]
+        raise CampaignError(
+            f"unknown workload selector {selector!r} (want @spec, "
+            "@spec-fig5, @gap, @serve, @serve-<family>, or a name list)")
+    names = list(selector)
+    if not names:
+        raise CampaignError("workload list must not be empty")
+    return names
+
+
+@dataclass(frozen=True)
+class CampaignGrid:
+    """One figure/table grid: the cross product of its axes."""
+
+    id: str
+    suite: str                         # "spec" | "gap" | "serve" | "mix"
+    policies: Tuple[str, ...]
+    cores: Tuple[int, ...]
+    prefetch: Tuple[bool, ...] = (True,)
+    workloads: Tuple[str, ...] = ()    # empty iff suite == "mix"
+    mixes: int = 0                     # mix count iff suite == "mix"
+    records: int = 6000
+    seed: int = 3
+    preset: str = "default"
+    title: str = ""
+    figure: str = ""
+
+    def points(self) -> int:
+        per_workload = len(self.policies) * len(self.cores) * len(self.prefetch)
+        n = self.mixes if self.suite == "mix" else len(self.workloads)
+        return n * per_workload
+
+    def expand(self) -> List[ExperimentSpec]:
+        """Every ExperimentSpec in this grid, deterministic order."""
+        specs: List[ExperimentSpec] = []
+        for cores in self.cores:
+            for prefetch in self.prefetch:
+                if self.suite == "mix":
+                    for mix_id in range(self.mixes):
+                        for policy in self.policies:
+                            specs.append(ExperimentSpec.mix(
+                                mix_id, policy, n_cores=cores,
+                                prefetch=prefetch, n_records=self.records,
+                                seed=self.seed))
+                else:
+                    for workload in self.workloads:
+                        for policy in self.policies:
+                            specs.append(ExperimentSpec(
+                                workload=workload, policy=policy,
+                                n_cores=cores, prefetch=prefetch,
+                                suite=self.suite, n_records=self.records,
+                                seed=self.seed, preset=self.preset))
+        return specs
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A parsed campaign file (possibly already sliced)."""
+
+    name: str
+    description: str = ""
+    grids: Tuple[CampaignGrid, ...] = ()
+    slices: Mapping[str, Dict[str, Any]] = field(default_factory=dict)
+    baseline: str = "lru"
+    slice_name: Optional[str] = None
+    source: Optional[str] = None       # file it was loaded from
+
+    def tag(self) -> str:
+        """Manifest/incident tag: campaign name plus the active slice."""
+        return (f"campaign-{self.name}-{self.slice_name}" if self.slice_name
+                else f"campaign-{self.name}")
+
+    def default_manifest(self) -> str:
+        return f"{self.tag()}.manifest.json"
+
+    def points(self) -> int:
+        return sum(grid.points() for grid in self.grids)
+
+    def expand(self) -> List[Tuple[CampaignGrid, ExperimentSpec]]:
+        return [(grid, spec) for grid in self.grids
+                for spec in grid.expand()]
+
+    def specs(self) -> List[ExperimentSpec]:
+        """All points, deduplicated (grids may overlap), stable order."""
+        seen = set()
+        out: List[ExperimentSpec] = []
+        for _, spec in self.expand():
+            key = spec.key()
+            if key not in seen:
+                seen.add(key)
+                out.append(spec)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Parsing / validation
+# ----------------------------------------------------------------------
+def _as_tuple(value, kind=None) -> Tuple:
+    items = tuple(value if isinstance(value, (list, tuple)) else (value,))
+    if kind is not None:
+        items = tuple(kind(v) for v in items)
+    return items
+
+
+def _parse_grid(raw: Dict[str, Any], defaults: Dict[str, Any]) -> CampaignGrid:
+    if not isinstance(raw, dict):
+        raise CampaignError(f"grid entries must be objects, got {raw!r}")
+    unknown = set(raw) - _GRID_KEYS
+    if unknown:
+        raise CampaignError(
+            f"grid {raw.get('id', '?')!r}: unknown keys {sorted(unknown)}")
+    for key in ("id", "suite", "policies", "cores"):
+        if key not in raw:
+            raise CampaignError(f"grid {raw.get('id', '?')!r}: "
+                                f"missing required key {key!r}")
+    suite = raw["suite"]
+    if suite not in ("spec", "gap", "serve", "mix"):
+        raise CampaignError(f"grid {raw['id']!r}: unknown suite {suite!r}")
+    preset = raw.get("preset", defaults.get("preset", "default"))
+    if preset not in CONFIG_PRESETS:
+        raise CampaignError(f"grid {raw['id']!r}: unknown preset {preset!r}")
+    workloads: Tuple[str, ...] = ()
+    mixes = 0
+    if suite == "mix":
+        mixes = int(raw.get("mixes", defaults.get("mixes", 0)))
+        if mixes < 1:
+            raise CampaignError(f"grid {raw['id']!r}: mix grids need "
+                                "'mixes' >= 1")
+    else:
+        if "workloads" not in raw:
+            raise CampaignError(f"grid {raw['id']!r}: non-mix grids need "
+                                "'workloads'")
+        workloads = tuple(resolve_workloads(raw["workloads"]))
+    return CampaignGrid(
+        id=str(raw["id"]),
+        suite=suite,
+        policies=_as_tuple(raw["policies"], str),
+        cores=_as_tuple(raw["cores"], int),
+        prefetch=_as_tuple(raw.get("prefetch", (True,)), bool),
+        workloads=workloads,
+        mixes=mixes,
+        records=int(raw.get("records", defaults.get("records", 6000))),
+        seed=int(raw.get("seed", defaults.get("seed", 3))),
+        preset=preset,
+        title=str(raw.get("title", "")),
+        figure=str(raw.get("figure", "")),
+    )
+
+
+def parse_campaign(data: Dict[str, Any],
+                   source: Optional[str] = None) -> Campaign:
+    """Validate a raw campaign dict into a :class:`Campaign`."""
+    if not isinstance(data, dict):
+        raise CampaignError("campaign file must hold a JSON/TOML object")
+    schema = data.get("schema")
+    if schema != CAMPAIGN_SCHEMA:
+        raise CampaignError(f"unsupported campaign schema {schema!r} "
+                            f"(want {CAMPAIGN_SCHEMA!r})")
+    name = data.get("name")
+    if not name or not isinstance(name, str):
+        raise CampaignError("campaign needs a non-empty 'name'")
+    defaults = data.get("defaults", {})
+    raw_grids = data.get("grids")
+    if not raw_grids:
+        raise CampaignError("campaign needs at least one grid")
+    grids = tuple(_parse_grid(g, defaults) for g in raw_grids)
+    ids = [g.id for g in grids]
+    if len(set(ids)) != len(ids):
+        raise CampaignError(f"duplicate grid ids: {ids}")
+    slices = data.get("slices", {})
+    for sname, sdata in slices.items():
+        unknown = set(sdata) - _SLICE_KEYS
+        if unknown:
+            raise CampaignError(
+                f"slice {sname!r}: unknown keys {sorted(unknown)}")
+        for gid in sdata.get("grids", []):
+            if gid not in ids:
+                raise CampaignError(
+                    f"slice {sname!r} references unknown grid {gid!r}")
+    return Campaign(name=name, description=str(data.get("description", "")),
+                    grids=grids, slices=dict(slices),
+                    baseline=str(defaults.get("baseline", "lru")),
+                    source=source)
+
+
+def load_campaign(path: Union[str, Path]) -> Campaign:
+    """Load and validate one campaign file (``.json``, or ``.toml`` when
+    the interpreter ships :mod:`tomllib` — Python 3.11+)."""
+    path = Path(path)
+    try:
+        raw_bytes = path.read_bytes()
+    except OSError as exc:
+        raise CampaignError(f"cannot read campaign file {path}: {exc}")
+    if path.suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError:
+            raise CampaignError(
+                f"{path}: TOML campaigns need Python >= 3.11 (tomllib); "
+                "use the JSON form on older interpreters")
+        try:
+            data = tomllib.loads(raw_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, tomllib.TOMLDecodeError) as exc:
+            raise CampaignError(f"{path}: invalid TOML: {exc}")
+    else:
+        try:
+            data = json.loads(raw_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CampaignError(f"{path}: invalid JSON: {exc}")
+    return parse_campaign(data, source=str(path))
+
+
+def find_campaign(ref: Optional[str]) -> Path:
+    """Resolve a CLI campaign reference: a path, or a name under
+    ``benchmarks/campaigns/`` (``.json`` preferred, then ``.toml``)."""
+    ref = ref or DEFAULT_CAMPAIGN
+    as_path = Path(ref)
+    if as_path.suffix in (".json", ".toml") or as_path.is_file():
+        return as_path
+    for suffix in (".json", ".toml"):
+        candidate = CAMPAIGNS_DIR / f"{ref}{suffix}"
+        if candidate.is_file():
+            return candidate
+    raise CampaignError(
+        f"no campaign named {ref!r} under {CAMPAIGNS_DIR}/ "
+        f"(and {ref!r} is not a file)")
+
+
+def available_campaigns() -> List[Path]:
+    """Campaign files under ``benchmarks/campaigns/``, sorted."""
+    if not CAMPAIGNS_DIR.is_dir():
+        return []
+    return sorted(p for p in CAMPAIGNS_DIR.iterdir()
+                  if p.suffix in (".json", ".toml"))
+
+
+# ----------------------------------------------------------------------
+# Slicing
+# ----------------------------------------------------------------------
+def apply_slice(campaign: Campaign, slice_name: str) -> Campaign:
+    """The campaign restricted to a named slice (see module doc)."""
+    if slice_name not in campaign.slices:
+        raise CampaignError(
+            f"campaign {campaign.name!r} has no slice {slice_name!r}; "
+            f"available: {sorted(campaign.slices)}")
+    sdata = campaign.slices[slice_name]
+    keep = sdata.get("grids")
+    grids: List[CampaignGrid] = []
+    for grid in campaign.grids:
+        if keep is not None and grid.id not in keep:
+            continue
+        changes: Dict[str, Any] = {}
+        if "records" in sdata:
+            changes["records"] = int(sdata["records"])
+        if "policies" in sdata:
+            policies = tuple(p for p in grid.policies
+                             if p in set(sdata["policies"]))
+            changes["policies"] = policies or _as_tuple(
+                sdata["policies"], str)
+        if "cores" in sdata:
+            cores = tuple(c for c in grid.cores
+                          if c in set(sdata["cores"]))
+            changes["cores"] = cores or _as_tuple(sdata["cores"], int)
+        if "prefetch" in sdata:
+            changes["prefetch"] = _as_tuple(sdata["prefetch"], bool)
+        if "max_workloads" in sdata and grid.suite != "mix":
+            changes["workloads"] = tuple(_strided_sample(
+                grid.workloads, int(sdata["max_workloads"])))
+        if "max_mixes" in sdata and grid.suite == "mix":
+            changes["mixes"] = min(grid.mixes, int(sdata["max_mixes"]))
+        grids.append(replace(grid, **changes))
+    if not grids:
+        raise CampaignError(f"slice {slice_name!r} selects no grids")
+    return replace(campaign, grids=tuple(grids), slice_name=slice_name)
+
+
+# ----------------------------------------------------------------------
+# Status / reporting
+# ----------------------------------------------------------------------
+def campaign_status(campaign: Campaign, store,
+                    manifest_counts: Optional[Dict[str, int]] = None
+                    ) -> Dict[str, Any]:
+    """Coverage of the campaign against a result store (+ manifest)."""
+    grids = []
+    total = done = 0
+    for grid in campaign.grids:
+        specs = grid.expand()
+        have = sum(1 for s in specs
+                   if store is not None and store.get(s) is not None)
+        grids.append({
+            "id": grid.id, "figure": grid.figure, "title": grid.title,
+            "points": len(specs), "done": have,
+            "coverage": round(have / len(specs), 4) if specs else 1.0,
+        })
+        total += len(specs)
+        done += have
+    out = {
+        "campaign": campaign.name,
+        "slice": campaign.slice_name,
+        "points": total,
+        "done": done,
+        "coverage": round(done / total, 4) if total else 1.0,
+        "grids": grids,
+    }
+    if manifest_counts is not None:
+        out["manifest"] = manifest_counts
+    return out
+
+
+def format_status(status: Dict[str, Any]) -> str:
+    lines = [f"campaign {status['campaign']}"
+             + (f" · slice {status['slice']}" if status["slice"] else "")
+             + f": {status['done']}/{status['points']} point(s) in store "
+             f"({100 * status['coverage']:.1f}%)"]
+    for grid in status["grids"]:
+        fig = f" [{grid['figure']}]" if grid["figure"] else ""
+        lines.append(f"  {grid['id']:12s}{fig} "
+                     f"{grid['done']:5d}/{grid['points']:<5d} "
+                     f"({100 * grid['coverage']:.1f}%)")
+    if "manifest" in status:
+        counts = status["manifest"]
+        lines.append("  manifest: " + ", ".join(
+            f"{counts.get(k, 0)} {k}" for k in ("done", "failed", "pending")))
+    return "\n".join(lines)
+
+
+def build_campaign_report(campaign: Campaign, store,
+                          baseline: Optional[str] = None) -> Dict[str, Any]:
+    """Per-grid figure/table reproduction from stored results.
+
+    Each grid becomes one entry carrying its coverage plus the standard
+    :func:`repro.obs.report.build_report` payload over the grid's
+    available points, so every figure renders with the same speedup /
+    MPKI / PMC tables the plain ``repro report`` uses.
+    """
+    from ..obs.report import build_report
+    baseline = baseline or campaign.baseline
+    grids = []
+    for grid in campaign.grids:
+        specs = grid.expand()
+        entries = []
+        for spec in specs:
+            result = store.get(spec) if store is not None else None
+            if result is not None:
+                entries.append((spec, result))
+        grids.append({
+            "id": grid.id, "figure": grid.figure, "title": grid.title,
+            "suite": grid.suite, "points": len(specs),
+            "done": len(entries),
+            "coverage": (round(len(entries) / len(specs), 4)
+                         if specs else 1.0),
+            "report": build_report(entries, baseline=baseline),
+        })
+    return {
+        "schema": "repro.campaign.report/v1",
+        "campaign": campaign.name,
+        "slice": campaign.slice_name,
+        "baseline": baseline,
+        "grids": grids,
+    }
+
+
+def render_campaign_markdown(report: Dict[str, Any]) -> str:
+    """Markdown for humans and ``$GITHUB_STEP_SUMMARY``."""
+    from ..obs.report import render_markdown
+    head = f"# Campaign report · {report['campaign']}"
+    if report["slice"]:
+        head += f" · slice `{report['slice']}`"
+    lines = [head, ""]
+    lines.append("| grid | figure | points | done | coverage |")
+    lines.append("|---|---|---:|---:|---:|")
+    for grid in report["grids"]:
+        lines.append(f"| {grid['id']} | {grid['figure'] or '-'} | "
+                     f"{grid['points']} | {grid['done']} | "
+                     f"{100 * grid['coverage']:.1f}% |")
+    for grid in report["grids"]:
+        lines.append("")
+        title = grid["title"] or grid["id"]
+        fig = f" ({grid['figure']})" if grid["figure"] else ""
+        lines.append(f"# {grid['id']}{fig} — {title}")
+        if grid["done"] == 0:
+            lines.append("")
+            lines.append("_No stored results yet — run the campaign "
+                         "(or this slice) first._")
+            continue
+        body = render_markdown(grid["report"])
+        # Drop the inner report's H1 and demote its headings one level
+        # so the campaign document keeps a single outline.
+        inner = body.splitlines()[1:]
+        lines.extend("#" + ln if ln.startswith("#") else ln
+                     for ln in inner)
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def iter_failed_keys(manifest) -> Iterable[str]:
+    """Spec keys the manifest records as permanently failed."""
+    return manifest.keys_with_status("failed")

@@ -369,6 +369,90 @@ def diff_payloads(base: Dict, fresh: Dict) -> str:
     return text
 
 
+# ----------------------------------------------------------------------
+# Sweep-throughput regression gate (CI)
+# ----------------------------------------------------------------------
+#: set to ``off``/``0`` to skip the gate (documented CI override; the
+#: ``perf-regression-ok`` PR label drives the same skip in ci.yml)
+GATE_ENV = "REPRO_PERF_GATE"
+GATE_THRESHOLD_ENV = "REPRO_PERF_GATE_THRESHOLD"
+#: maximum tolerated drop in warm sweep throughput vs. the baseline
+DEFAULT_GATE_THRESHOLD = 0.25
+
+
+def _comparable_sweep_section(base: Dict, fresh_section: Dict) -> Optional[Dict]:
+    """The baseline sweep section whose grid matches the fresh one.
+
+    ``BENCH_perf.json`` carries the full-size grid under ``sweep`` and
+    the CI-sized grid under ``sweep_smoke``; points/s values are only
+    comparable when the grid (records, point count, engine) is the same.
+    """
+    grid = fresh_section.get("grid", {})
+    for key in ("sweep", "sweep_smoke"):
+        section = base.get(key)
+        if not section:
+            continue
+        bgrid = section.get("grid", {})
+        if (bgrid.get("n_records") == grid.get("n_records")
+                and bgrid.get("points") == grid.get("points")
+                and bgrid.get("engine") == grid.get("engine")):
+            return section
+    return None
+
+
+def gate_sweep_regression(base: Dict, fresh: Dict,
+                          threshold: float = DEFAULT_GATE_THRESHOLD):
+    """Compare warm sweep throughput against the committed baseline.
+
+    Returns ``(status, message)`` with status ``"ok"``, ``"fail"`` (drop
+    beyond ``threshold``), or ``"skip"`` (no comparable baseline grid —
+    absolute points/s are meaningless across different grids).  Unlike
+    the per-case kernel diff (wall-clock noise on individual cases), the
+    sweep number aggregates a whole grid twice over, which is stable
+    enough to gate with a generous threshold.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    fresh_section = fresh.get("sweep")
+    if not fresh_section:
+        return "skip", "fresh payload has no 'sweep' section"
+    section = _comparable_sweep_section(base, fresh_section)
+    if section is None:
+        return "skip", ("no comparable sweep baseline in BENCH_perf.json "
+                        "(grid records/points/engine mismatch)")
+    base_pts = section["turbo_warm"]["best_points_per_s"]
+    fresh_pts = fresh_section["turbo_warm"]["best_points_per_s"]
+    if base_pts <= 0:
+        return "skip", "baseline sweep throughput is zero"
+    delta = (fresh_pts - base_pts) / base_pts
+    msg = (f"warm sweep throughput {fresh_pts:.2f} points/s vs baseline "
+           f"{base_pts:.2f} ({delta * 100:+.1f}%)")
+    if delta < -threshold:
+        return "fail", (f"{msg} — beyond the {threshold:.0%} regression "
+                        f"gate (override: {GATE_ENV}=off or the "
+                        "'perf-regression-ok' PR label)")
+    return "ok", msg
+
+
+def merge_smoke_sweep_section(existing: Optional[Dict],
+                              section: Dict) -> Dict:
+    """Fold a *smoke-sized* sweep section into a payload under
+    ``sweep_smoke`` (the CI gate's baseline key), like
+    :func:`merge_sweep_section` does for the full-size grid."""
+    from .store import code_fingerprint
+    payload = dict(existing) if existing else {
+        "schema": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "fingerprint": code_fingerprint()[:16],
+        "cases": {},
+    }
+    payload["sweep_smoke"] = section
+    payload["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    return payload
+
+
 def format_payload(payload: Dict) -> str:
     """Human-readable table of one suite payload."""
     from ..analysis import format_table

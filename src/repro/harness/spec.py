@@ -46,7 +46,7 @@ class ExperimentSpec:
     policy: str
     n_cores: int = 4
     prefetch: bool = True
-    suite: str = "spec"           # "spec" | "gap" | "mix"
+    suite: str = "spec"           # "spec" | "gap" | "serve" | "mix"
     n_records: int = 6000         # measured records per core
     seed: int = 3
     collect_deltas: bool = False
@@ -58,7 +58,7 @@ class ExperimentSpec:
         if self.suite == "mix":
             if self.mix_id is None:
                 raise ValueError("mix specs need mix_id")
-        elif self.suite in ("spec", "gap"):
+        elif self.suite in ("spec", "gap", "serve"):
             if not self.workload:
                 raise ValueError(f"{self.suite} specs need a workload name")
             if self.mix_id is not None:

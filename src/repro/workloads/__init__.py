@@ -11,6 +11,7 @@ from .patterns import (
     StridePattern,
     WeightedPattern,
     WorkloadMix,
+    ZipfianPattern,
 )
 from .spec_like import (
     DEFAULT_SCALE,
@@ -20,6 +21,15 @@ from .spec_like import (
     spec_benchmark,
     spec_names,
     spec_trace,
+)
+from .serving import (
+    SERVE_FAMILIES,
+    SERVE_WORKLOADS,
+    ServeWorkload,
+    serve_names,
+    serve_trace,
+    serve_workload,
+    zipf_mass,
 )
 from .graphs import CSRGraph, GRAPH_SPECS, build_graph, graph_keys
 from .gap import gap_algorithms, gap_trace, gap_workload_names
@@ -49,7 +59,9 @@ __all__ = [
     "Trace", "TraceRecord", "make_trace",
     "Pattern", "StreamPattern", "StridePattern", "RandomPattern",
     "PointerChasePattern", "HotColdPattern", "ScanPattern",
-    "WeightedPattern", "WorkloadMix",
+    "ZipfianPattern", "WeightedPattern", "WorkloadMix",
+    "SERVE_FAMILIES", "SERVE_WORKLOADS", "ServeWorkload",
+    "serve_names", "serve_trace", "serve_workload", "zipf_mass",
     "DEFAULT_SCALE", "FIG5_WORKLOADS", "SPEC_BENCHMARKS", "SpecBenchmark",
     "spec_benchmark", "spec_names", "spec_trace",
     "CSRGraph", "GRAPH_SPECS", "build_graph", "graph_keys",

@@ -62,4 +62,9 @@ def multicopy_traces(name: str, n_cores: int, n_records: int, seed: int = 0,
         return [cached_trace("gap", name, n_records=n_records,
                              seed=seed + 31 * c, scale=scale)
                 for c in range(n_cores)]
-    raise ValueError(f"unknown suite {suite!r} (want 'spec' or 'gap')")
+    if suite == "serve":
+        return [cached_trace("serve", name, n_records=n_records,
+                             seed=seed + 31 * c, scale=scale)
+                for c in range(n_cores)]
+    raise ValueError(
+        f"unknown suite {suite!r} (want 'spec', 'gap' or 'serve')")

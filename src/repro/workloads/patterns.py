@@ -14,6 +14,7 @@ gaps — producing a :class:`~repro.workloads.trace.Trace`.
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -164,6 +165,56 @@ class HotColdPattern(Pattern):
                 max(1, self.region_elems - self.hot_elems))
             pc = 2 if not write else 3
         return (pc, idx, write, False)
+
+
+class ZipfianPattern(Pattern):
+    """Zipf-distributed touches over a keyed object store (serving tier).
+
+    Key popularity follows the classic power law ``P(rank k) ∝ 1/k^theta``
+    (YCSB's request distribution; ``theta`` ≈ 0.99 for web/KV serving).
+    Objects sit one per cache block and popularity ranks are scattered
+    over the region by a seeded permutation, so the hot head is *not*
+    physically contiguous — exactly the layout a serving tier's slab
+    allocator produces.  Head and tail keys use distinct PCs (the hit
+    fast path vs. the fill path), which is the structure PC-signature
+    schemes learn.
+    """
+
+    n_pcs = 4
+
+    def __init__(self, region_elems: int, theta: float = 0.99,
+                 write_fraction: float = 0.0, seed: int = 0) -> None:
+        super().__init__(region_elems, write_fraction)
+        if theta <= 0.0:
+            raise ValueError("theta must be > 0")
+        self.theta = theta
+        self.n_keys = max(2, region_elems // ELEMS_PER_BLOCK)
+        cum: List[float] = []
+        acc = 0.0
+        for k in range(self.n_keys):
+            acc += (k + 1) ** -theta
+            cum.append(acc)
+        self._cum = cum
+        self._total = acc
+        rng = random.Random(seed ^ 0x51AF5)
+        slot = list(range(self.n_keys))
+        rng.shuffle(slot)
+        self._slot = slot
+        self._head_ranks = max(1, self.n_keys // 64)
+
+    def top_mass(self, fraction: float) -> float:
+        """Access mass landing on the most popular ``fraction`` of keys."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        top = max(1, int(self.n_keys * fraction))
+        return self._cum[min(top, self.n_keys) - 1] / self._total
+
+    def step(self, rng: random.Random) -> Tuple[int, int, bool, bool]:
+        x = rng.random() * self._total
+        rank = min(bisect.bisect_left(self._cum, x), self.n_keys - 1)
+        write = self._maybe_write(rng)
+        pc = (0 if rank < self._head_ranks else 2) + (1 if write else 0)
+        return (pc, self._slot[rank] * ELEMS_PER_BLOCK, write, False)
 
 
 class ScanPattern(Pattern):

@@ -1,0 +1,242 @@
+"""Production-traffic workload families (serving-tier synthetic traces).
+
+The campaign's workload diversity cannot stop at SPEC/GAP stand-ins:
+reuse behavior varies heavily across applications, and CARE's
+concurrency story is most interesting under the traffic shapes that
+dominate production fleets.  Three calibrated families model them:
+
+* **kv** — Zipfian key-value / web-cache serving (the millions-of-users
+  pattern): a power-law key popularity (:class:`ZipfianPattern`,
+  YCSB-style ``theta``), a small hot head that caches and a long tail
+  that misses.
+* **stream** — streaming scans: log ingestion (write-heavy sequential
+  append) and analytics sweeps (repeated scans of a working set just
+  past LLC capacity — the classic LRU-thrash shape).
+* **usvc** — pointer-chasing microservice traces: request handling that
+  hops linked session/graph structures, with a hot dispatch tier and an
+  LLC-resident session cache.
+
+Calibration mirrors :mod:`.spec_like`: every workload mixes a
+core-resident hot tier, an LLC-resident tier, and a memory-bound
+signature pattern whose weight is derived from a target MPKI via
+``w = target · (g+1) / (1000 · mpa)``.  For Zipfian traffic the miss
+probability per access is itself derived from the distribution: keys
+whose popularity rank fits in the LLC-resident share hit after warmup,
+so ``mpa ≈ 1 - zipf_mass(resident)`` — skew, footprint, and machine
+scale all move the calibration coherently.
+
+All generation is seed-deterministic and routed through the trace cache
+as kind ``"serve"`` (see :func:`repro.workloads.tracecache.cached_trace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .patterns import (
+    ELEMS_PER_BLOCK,
+    HotColdPattern,
+    PointerChasePattern,
+    ScanPattern,
+    StreamPattern,
+    WeightedPattern,
+    WorkloadMix,
+    ZipfianPattern,
+)
+from .spec_like import DEFAULT_SCALE, _HOT_BLOCKS, _elems
+from .trace import Trace
+
+#: serving families, in registry order
+SERVE_FAMILIES = ("kv", "stream", "usvc")
+
+
+def zipf_mass(n_keys: int, theta: float, top: int) -> float:
+    """Fraction of a Zipf(``theta``) stream landing on the ``top`` most
+    popular of ``n_keys`` keys (closed-form partial harmonic ratio)."""
+    if n_keys < 1:
+        raise ValueError("n_keys must be >= 1")
+    top = min(max(top, 0), n_keys)
+    if top == 0:
+        return 0.0
+    head = sum((k + 1) ** -theta for k in range(top))
+    total = head + sum((k + 1) ** -theta for k in range(top, n_keys))
+    return head / total
+
+
+def _zipf_mpa(n_keys: int, theta: float, resident_blocks: int) -> float:
+    """Approximate LLC misses per access for a Zipfian stream: the
+    ``resident_blocks`` hottest objects hit after warmup, the rest miss."""
+    return max(0.02, 1.0 - zipf_mass(n_keys, theta, resident_blocks))
+
+
+@dataclass(frozen=True)
+class ServeWorkload:
+    """One production-traffic workload: metadata plus a trace builder."""
+
+    name: str
+    family: str                # one of SERVE_FAMILIES
+    target_mpki: float         # calibration target (like Table VIII's column)
+    pattern_class: str         # human-readable characterization
+    builder: Callable[[int, int], WorkloadMix]
+
+    def mix(self, seed: int = 0, scale: int = DEFAULT_SCALE) -> WorkloadMix:
+        return self.builder(seed, scale)
+
+    def trace(self, n_records: int, seed: int = 0,
+              scale: int = DEFAULT_SCALE) -> Trace:
+        trace = self.mix(seed, scale).generate(n_records, seed=seed)
+        trace.suite = "SERVE"
+        return trace
+
+
+def _wp(weight: float, pattern) -> WeightedPattern:
+    return WeightedPattern(weight, pattern)
+
+
+def _tiers(miss_w: float, signature, wf: float, s: int,
+           llc_tier: float) -> List[WeightedPattern]:
+    """The three-tier composition shared by every family (see module doc)."""
+    miss_w = min(max(miss_w, 0.004), 0.88)
+    llc_w = min(llc_tier, max(0.0, 0.96 - miss_w))
+    hot_w = max(0.0, 1.0 - miss_w - llc_w)
+    parts = [
+        _wp(miss_w, signature),
+        _wp(llc_w, HotColdPattern(_elems(s * 0.45), _elems(s * 0.3),
+                                  hot_fraction=0.85, write_fraction=wf)),
+    ]
+    if hot_w > 0:
+        parts.append(_wp(hot_w, HotColdPattern(
+            _elems(_HOT_BLOCKS * 2), _elems(_HOT_BLOCKS),
+            hot_fraction=0.95, write_fraction=wf)))
+    return parts
+
+
+def _kv(target_mpki: float, gap: float, theta: float,
+        region_mult: float = 8.0, wf: float = 0.05, llc_tier: float = 0.14):
+    """Zipfian key-value/web-cache builder (miss rate from the skew)."""
+
+    def build(seed: int, s: int) -> WorkloadMix:
+        region = _elems(s * region_mult)
+        n_keys = max(2, region // ELEMS_PER_BLOCK)
+        mpa = _zipf_mpa(n_keys, theta, max(1, int(s * 0.5)))
+        miss_w = target_mpki * (gap + 1) / (1000.0 * mpa)
+        signature = ZipfianPattern(region, theta=theta,
+                                   write_fraction=wf, seed=seed)
+        return WorkloadMix("", _tiers(miss_w, signature, wf, s, llc_tier),
+                           mean_gap=gap, seed=seed)
+
+    return build
+
+
+def _stream(target_mpki: float, gap: float, kind: str,
+            region_mult: float = 10.0, wf: float = 0.1,
+            llc_tier: float = 0.12):
+    """Streaming-scan builder (``kind`` is ``"stream"`` or ``"scan"``)."""
+
+    def build(seed: int, s: int) -> WorkloadMix:
+        region = _elems(s * region_mult)
+        if kind == "stream":
+            mpa = 1.0 / ELEMS_PER_BLOCK
+            signature = StreamPattern(region, write_fraction=wf)
+        else:
+            mpa = 0.95
+            signature = ScanPattern(region, write_fraction=wf)
+        miss_w = target_mpki * (gap + 1) / (1000.0 * mpa)
+        return WorkloadMix("", _tiers(miss_w, signature, wf, s, llc_tier),
+                           mean_gap=gap, seed=seed)
+
+    return build
+
+
+def _usvc(target_mpki: float, gap: float, region_mult: float = 5.0,
+          wf: float = 0.08, llc_tier: float = 0.18,
+          session_theta: float = 0.9):
+    """Microservice builder: pointer chase + Zipfian session cache.
+
+    The chase models request handling hopping linked structures; the
+    LLC tier is replaced by a Zipfian session-object cache (sessions are
+    popularity-skewed too), keeping the three-tier calibration story.
+    """
+
+    def build(seed: int, s: int) -> WorkloadMix:
+        region = _elems(s * region_mult)
+        miss_w = target_mpki * (gap + 1) / 1000.0   # chase: mpa = 1.0
+        miss_w = min(max(miss_w, 0.004), 0.88)
+        llc_w = min(llc_tier, max(0.0, 0.96 - miss_w))
+        hot_w = max(0.0, 1.0 - miss_w - llc_w)
+        parts = [
+            _wp(miss_w, PointerChasePattern(region, write_fraction=wf,
+                                            seed=seed)),
+            _wp(llc_w, ZipfianPattern(_elems(s * 0.5), theta=session_theta,
+                                      write_fraction=wf, seed=seed + 1)),
+        ]
+        if hot_w > 0:
+            parts.append(_wp(hot_w, HotColdPattern(
+                _elems(_HOT_BLOCKS * 2), _elems(_HOT_BLOCKS),
+                hot_fraction=0.95, write_fraction=wf)))
+        return WorkloadMix("", parts, mean_gap=gap, seed=seed)
+
+    return build
+
+
+def _registry() -> Dict[str, ServeWorkload]:
+    W = ServeWorkload
+    entries = [
+        # -- kv: Zipfian key-value / web-cache serving --------------------
+        W("kv-zipf99", "kv", 16.0, "YCSB-B read-mostly, theta 0.99",
+          _kv(16.0, gap=3.5, theta=0.99, region_mult=8)),
+        W("kv-zipf80", "kv", 24.0, "long-tail KV, theta 0.80",
+          _kv(24.0, gap=3.0, theta=0.80, region_mult=10)),
+        W("kv-update", "kv", 19.0, "YCSB-A update-heavy, theta 0.99",
+          _kv(19.0, gap=3.2, theta=0.99, region_mult=8, wf=0.35)),
+        W("web-cdn", "kv", 30.0, "web-cache edge, theta 0.75, huge tail",
+          _kv(30.0, gap=2.5, theta=0.75, region_mult=16, llc_tier=0.10)),
+        # -- stream: streaming scans --------------------------------------
+        W("stream-log", "stream", 24.0, "log ingestion, write-heavy append",
+          _stream(24.0, gap=3.0, kind="stream", region_mult=14, wf=0.6,
+                  llc_tier=0.08)),
+        W("stream-scan", "stream", 15.0, "analytics sweep, LLC-thrashing",
+          _stream(15.0, gap=3.5, kind="scan", region_mult=1.8,
+                  llc_tier=0.16)),
+        # -- usvc: pointer-chasing microservices --------------------------
+        W("usvc-chase", "usvc", 28.0, "linked session graph walk",
+          _usvc(28.0, gap=2.5, region_mult=6)),
+        W("usvc-rpc", "usvc", 12.0, "RPC handling, mixed chase + sessions",
+          _usvc(12.0, gap=5.0, region_mult=3.5, llc_tier=0.22)),
+    ]
+    table: Dict[str, ServeWorkload] = {}
+    for work in entries:
+        if work.name in table or work.family not in SERVE_FAMILIES:
+            raise ValueError(f"bad serve registry entry {work.name}")
+        table[work.name] = work
+    return table
+
+
+SERVE_WORKLOADS: Dict[str, ServeWorkload] = _registry()
+
+
+def serve_names() -> List[str]:
+    """All production-traffic workload names, family order."""
+    return list(SERVE_WORKLOADS)
+
+
+def serve_workload(name: str) -> ServeWorkload:
+    try:
+        return SERVE_WORKLOADS[name]
+    except KeyError:
+        matches = [k for k in SERVE_WORKLOADS if k.startswith(name)]
+        if len(matches) == 1:
+            return SERVE_WORKLOADS[matches[0]]
+        raise KeyError(
+            f"unknown serving workload {name!r}; known: {serve_names()}"
+        ) from None
+
+
+def serve_trace(name: str, n_records: int = 20000, seed: int = 0,
+                scale: int = DEFAULT_SCALE) -> Trace:
+    """Generate the synthetic trace for one production-traffic workload."""
+    work = serve_workload(name)
+    trace = work.trace(n_records, seed=seed, scale=scale)
+    trace.name = work.name
+    return trace

@@ -351,7 +351,11 @@ def generate_trace(kind: str, name: str, n_records: int, seed: int,
     if kind == "gap":
         from .gap import gap_trace
         return gap_trace(name, n_records=n_records, seed=seed)
-    raise ValueError(f"unknown trace kind {kind!r} (want 'spec' or 'gap')")
+    if kind == "serve":
+        from .serving import serve_trace
+        return serve_trace(name, n_records=n_records, seed=seed, scale=scale)
+    raise ValueError(
+        f"unknown trace kind {kind!r} (want 'spec', 'gap' or 'serve')")
 
 
 def cached_trace(kind: str, name: str, n_records: int, seed: int,

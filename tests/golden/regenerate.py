@@ -52,6 +52,18 @@ GOLDEN_SPECS = {
     "default_1c_mcare_spec_deltas": ExperimentSpec.multicopy(
         "433.milc", "mcare", n_cores=1, prefetch=False, n_records=500,
         seed=11, collect_deltas=True),
+    # Production-traffic ("serve") families: one fixture per family so
+    # the Zipfian/stream/pointer-chase generators are golden-pinned on
+    # both engines.
+    "tiny_2c_lru_serve_kv": ExperimentSpec.multicopy(
+        "kv-zipf99", "lru", n_cores=2, prefetch=True, n_records=400,
+        seed=3, suite="serve", preset="tiny"),
+    "tiny_1c_care_serve_stream": ExperimentSpec.multicopy(
+        "stream-scan", "care", n_cores=1, prefetch=False, n_records=400,
+        seed=5, suite="serve", preset="tiny"),
+    "default_2c_mcare_serve_usvc": ExperimentSpec.multicopy(
+        "usvc-chase", "mcare", n_cores=2, prefetch=True, n_records=400,
+        seed=7, suite="serve"),
 }
 
 

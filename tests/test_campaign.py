@@ -1,0 +1,284 @@
+"""The declarative campaign layer (PR 9): spec parsing + validation,
+workload selectors, slicing semantics, deterministic expansion, the
+committed paper-scale campaign file, and status/report rendering
+against a populated result store."""
+
+import json
+
+import pytest
+
+from repro.harness.campaign import (CAMPAIGN_SCHEMA, Campaign, CampaignError,
+                                    CampaignGrid, apply_slice,
+                                    available_campaigns, build_campaign_report,
+                                    campaign_status, find_campaign,
+                                    load_campaign, parse_campaign,
+                                    render_campaign_markdown,
+                                    resolve_workloads)
+from repro.harness.spec import ExperimentSpec
+from repro.harness.store import ResultStore
+
+
+def minimal(**overrides):
+    """A small valid campaign dict tests can bend per case."""
+    data = {
+        "schema": CAMPAIGN_SCHEMA,
+        "name": "unit",
+        "defaults": {"records": 200, "seed": 3, "preset": "tiny"},
+        "grids": [
+            {"id": "g1", "suite": "spec",
+             "workloads": ["429.mcf", "433.milc", "450.soplex"],
+             "policies": ["lru", "care"], "cores": [1, 2]},
+            {"id": "g2", "suite": "mix", "mixes": 4,
+             "policies": ["lru", "care"], "cores": [2]},
+        ],
+        "slices": {
+            "smoke": {"grids": ["g1"], "max_workloads": 2,
+                      "records": 100, "policies": ["care"]},
+        },
+    }
+    data.update(overrides)
+    return data
+
+
+# ----------------------------------------------------------------------
+# Parsing and validation
+# ----------------------------------------------------------------------
+def test_parse_minimal_campaign():
+    campaign = parse_campaign(minimal())
+    assert campaign.name == "unit"
+    assert [g.id for g in campaign.grids] == ["g1", "g2"]
+    assert campaign.grids[0].records == 200
+    assert campaign.grids[0].preset == "tiny"
+    # g1: 3 workloads x 2 policies x 2 cores; g2: 4 mixes x 2 policies
+    assert campaign.points() == 12 + 8
+
+
+@pytest.mark.parametrize("mutate, match", [
+    ({"schema": "nope/v0"}, "schema"),
+    ({"name": ""}, "name"),
+    ({"grids": []}, "at least one grid"),
+])
+def test_parse_rejects_bad_top_level(mutate, match):
+    with pytest.raises(CampaignError, match=match):
+        parse_campaign(minimal(**mutate))
+
+
+@pytest.mark.parametrize("grid, match", [
+    ({"id": "g", "suite": "spec", "workloads": ["429.mcf"],
+      "policies": ["lru"], "cores": [1], "bogus": 1}, "unknown keys"),
+    ({"id": "g", "suite": "spec", "workloads": ["429.mcf"],
+      "policies": ["lru"]}, "missing required key"),
+    ({"id": "g", "suite": "weird", "workloads": ["429.mcf"],
+      "policies": ["lru"], "cores": [1]}, "unknown suite"),
+    ({"id": "g", "suite": "spec", "workloads": ["429.mcf"],
+      "policies": ["lru"], "cores": [1], "preset": "huge"},
+     "unknown preset"),
+    ({"id": "g", "suite": "mix", "policies": ["lru"], "cores": [1]},
+     "'mixes' >= 1"),
+    ({"id": "g", "suite": "spec", "policies": ["lru"], "cores": [1]},
+     "'workloads'"),
+])
+def test_parse_rejects_bad_grids(grid, match):
+    with pytest.raises(CampaignError, match=match):
+        parse_campaign(minimal(grids=[grid]))
+
+
+def test_parse_rejects_duplicate_grid_ids():
+    data = minimal()
+    data["grids"][1] = dict(data["grids"][0])
+    with pytest.raises(CampaignError, match="duplicate grid ids"):
+        parse_campaign(data)
+
+
+def test_parse_rejects_bad_slices():
+    with pytest.raises(CampaignError, match="unknown keys"):
+        parse_campaign(minimal(slices={"s": {"frobnicate": 1}}))
+    with pytest.raises(CampaignError, match="unknown grid"):
+        parse_campaign(minimal(slices={"s": {"grids": ["missing"]}}))
+
+
+# ----------------------------------------------------------------------
+# Workload selectors
+# ----------------------------------------------------------------------
+def test_selectors_expand():
+    from repro.workloads import serve_names, spec_names
+    assert resolve_workloads("@spec") == spec_names()
+    assert resolve_workloads("@serve") == serve_names()
+    assert len(resolve_workloads("@spec-fig5")) == 16
+    assert resolve_workloads("@gap")
+    kv = resolve_workloads("@serve-kv")
+    assert kv and all(n in serve_names() for n in kv)
+    assert resolve_workloads(["a", "b"]) == ["a", "b"]
+
+
+@pytest.mark.parametrize("selector", ["@nope", "@serve-cron", []])
+def test_selectors_reject_unknown(selector):
+    with pytest.raises(CampaignError):
+        resolve_workloads(selector)
+
+
+# ----------------------------------------------------------------------
+# Expansion
+# ----------------------------------------------------------------------
+def test_expansion_is_deterministic_and_typed():
+    campaign = parse_campaign(minimal())
+    a = campaign.specs()
+    b = parse_campaign(minimal()).specs()
+    assert [s.key() for s in a] == [s.key() for s in b]
+    assert len(a) == campaign.points()
+    assert all(isinstance(s, ExperimentSpec) for s in a)
+
+
+def test_overlapping_grids_deduplicate():
+    g = {"id": "g1", "suite": "spec", "workloads": ["429.mcf"],
+         "policies": ["lru"], "cores": [1]}
+    data = minimal(grids=[g, dict(g, id="g2")], slices={})
+    campaign = parse_campaign(data)
+    assert campaign.points() == 2          # raw grid points
+    assert len(campaign.specs()) == 1      # deduped by spec key
+
+
+# ----------------------------------------------------------------------
+# Slicing
+# ----------------------------------------------------------------------
+def test_apply_slice_filters_and_overrides():
+    campaign = parse_campaign(minimal())
+    sliced = apply_slice(campaign, "smoke")
+    assert sliced.slice_name == "smoke"
+    assert [g.id for g in sliced.grids] == ["g1"]
+    grid = sliced.grids[0]
+    assert grid.records == 100
+    assert grid.policies == ("care",)      # intersection with the grid
+    assert len(grid.workloads) == 2        # strided sample keeps spread
+    assert grid.workloads[0] == "429.mcf"
+    assert sliced.tag() == "campaign-unit-smoke"
+    assert sliced.default_manifest() == "campaign-unit-smoke.manifest.json"
+    # the original campaign is untouched
+    assert campaign.grids[0].records == 200
+
+
+def test_apply_slice_axis_fallback_when_intersection_empty():
+    data = minimal(slices={"alt": {"policies": ["mcare"], "cores": [8]}})
+    sliced = apply_slice(parse_campaign(data), "alt")
+    for grid in sliced.grids:
+        assert grid.policies == ("mcare",)
+        assert grid.cores == (8,)
+
+
+def test_apply_slice_max_mixes_caps():
+    data = minimal(slices={"m": {"grids": ["g2"], "max_mixes": 2}})
+    sliced = apply_slice(parse_campaign(data), "m")
+    assert sliced.grids[0].mixes == 2
+
+
+def test_apply_slice_unknown_name():
+    with pytest.raises(CampaignError, match="no slice"):
+        apply_slice(parse_campaign(minimal()), "nope")
+
+
+# ----------------------------------------------------------------------
+# Loading / discovery
+# ----------------------------------------------------------------------
+def test_load_campaign_json(tmp_path):
+    path = tmp_path / "unit.json"
+    path.write_text(json.dumps(minimal()))
+    campaign = load_campaign(path)
+    assert campaign.name == "unit"
+    assert campaign.source == str(path)
+
+
+def test_load_campaign_bad_json(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{nope")
+    with pytest.raises(CampaignError, match="invalid JSON"):
+        load_campaign(path)
+
+
+def test_load_campaign_toml(tmp_path):
+    tomllib = pytest.importorskip("tomllib")
+    assert tomllib
+    path = tmp_path / "unit.toml"
+    path.write_text(
+        'schema = "repro.campaign/v1"\n'
+        'name = "unit-toml"\n'
+        "[defaults]\nrecords = 100\npreset = \"tiny\"\n"
+        "[[grids]]\n"
+        'id = "g1"\nsuite = "spec"\nworkloads = ["429.mcf"]\n'
+        'policies = ["lru"]\ncores = [1]\n')
+    campaign = load_campaign(path)
+    assert campaign.name == "unit-toml"
+    assert campaign.grids[0].records == 100
+
+
+def test_find_campaign_paths_and_names(tmp_path, monkeypatch):
+    direct = tmp_path / "c.json"
+    direct.write_text("{}")
+    assert find_campaign(str(direct)) == direct
+    monkeypatch.chdir(tmp_path)
+    assert available_campaigns() == []
+    with pytest.raises(CampaignError, match="no campaign named"):
+        find_campaign("missing")
+
+
+# ----------------------------------------------------------------------
+# The committed paper-scale campaign
+# ----------------------------------------------------------------------
+def test_committed_campaign_is_valid_and_sliceable():
+    campaign = load_campaign(find_campaign(None))
+    assert campaign.name == "care-paper"
+    assert {"ci-smoke", "nightly"} <= set(campaign.slices)
+    assert campaign.points() > 1000        # the full paper grid is big
+    smoke = apply_slice(campaign, "ci-smoke")
+    # the CI gate budget: a handful of points, tiny record counts
+    assert len(smoke.specs()) <= 32
+    assert all(g.records <= 500 for g in smoke.grids)
+    nightly = apply_slice(campaign, "nightly")
+    assert 0 < len(nightly.specs()) < campaign.points()
+
+
+# ----------------------------------------------------------------------
+# Status and report against a populated store
+# ----------------------------------------------------------------------
+@pytest.fixture
+def tiny_campaign():
+    return parse_campaign({
+        "schema": CAMPAIGN_SCHEMA,
+        "name": "tiny",
+        "defaults": {"records": 200, "preset": "tiny"},
+        "grids": [
+            {"id": "g1", "figure": "Fig. 7", "title": "speedup",
+             "suite": "spec", "workloads": ["429.mcf"],
+             "policies": ["lru", "care"], "cores": [1]},
+        ],
+    })
+
+
+def test_status_and_report_roundtrip(tiny_campaign, tmp_path):
+    store = ResultStore(tmp_path / "store")
+    empty = campaign_status(tiny_campaign, store)
+    assert empty["points"] == 2 and empty["done"] == 0
+
+    for spec in tiny_campaign.specs():
+        store.put(spec, spec.execute())
+
+    status = campaign_status(tiny_campaign, store,
+                             manifest_counts={"done": 2, "pending": 0})
+    assert status["done"] == status["points"] == 2
+    assert status["coverage"] == 1.0
+    assert status["manifest"]["done"] == 2
+
+    report = build_campaign_report(tiny_campaign, store)
+    assert report["baseline"] == "lru"
+    assert report["grids"][0]["done"] == 2
+
+    text = render_campaign_markdown(report)
+    assert "# Campaign report · tiny" in text
+    assert "| g1 | Fig. 7 |" in text
+    assert "100.0%" in text
+
+
+def test_report_renders_placeholder_without_results(tiny_campaign, tmp_path):
+    store = ResultStore(tmp_path / "store")
+    text = render_campaign_markdown(
+        build_campaign_report(tiny_campaign, store))
+    assert "No stored results yet" in text

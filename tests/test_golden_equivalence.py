@@ -86,3 +86,6 @@ def test_fixture_coverage():
     assert {s["policy"] for s in specs} >= {"lru", "care", "mcare", "shippp"}
     assert {s["prefetch"] for s in specs} == {True, False}
     assert any(s["collect_deltas"] for s in specs)
+    # Every production-traffic family stays golden-pinned.
+    serve = {s["workload"] for s in specs if s["suite"] == "serve"}
+    assert {w.split("-")[0] for w in serve} >= {"kv", "stream", "usvc"}

@@ -1,0 +1,142 @@
+"""Production-traffic workload families (PR 9): the serving registry,
+Zipfian distribution fidelity, seed determinism, and byte-identity
+through a cold and a warm trace cache."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads.patterns import ELEMS_PER_BLOCK, ZipfianPattern
+from repro.workloads.serving import (SERVE_FAMILIES, SERVE_WORKLOADS,
+                                     serve_names, serve_trace,
+                                     serve_workload, zipf_mass)
+from repro.workloads.spec_like import DEFAULT_SCALE
+from repro.workloads.tracecache import TraceCache, cached_trace
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_covers_every_family():
+    families = {w.family for w in SERVE_WORKLOADS.values()}
+    assert families == set(SERVE_FAMILIES)
+    assert len(SERVE_WORKLOADS) >= 6
+
+
+def test_registry_names_and_lookup():
+    names = serve_names()
+    assert names == list(SERVE_WORKLOADS)
+    for name in names:
+        assert serve_workload(name).name == name
+
+
+def test_lookup_prefix_and_unknown():
+    assert serve_workload("kv-zipf9").name == "kv-zipf99"
+    with pytest.raises(KeyError):
+        serve_workload("kv-zipf")       # ambiguous prefix
+    with pytest.raises(KeyError):
+        serve_workload("no-such-workload")
+
+
+def test_targets_are_positive_and_calibration_plausible():
+    for work in SERVE_WORKLOADS.values():
+        assert work.target_mpki > 0
+        assert work.pattern_class
+
+
+# ----------------------------------------------------------------------
+# Trace generation
+# ----------------------------------------------------------------------
+def test_traces_are_valid_and_tagged():
+    for name in serve_names():
+        trace = serve_trace(name, n_records=600, seed=3)
+        trace.validate()
+        assert trace.name == name
+        assert trace.suite == "SERVE"
+        assert len(trace) == 600
+
+
+def test_seed_determinism_and_sensitivity():
+    a = serve_trace("kv-zipf99", n_records=800, seed=3)
+    b = serve_trace("kv-zipf99", n_records=800, seed=3)
+    c = serve_trace("kv-zipf99", n_records=800, seed=4)
+    assert a.records == b.records
+    assert a.records != c.records
+
+
+def test_update_heavy_writes_more_than_read_mostly():
+    read_mostly = serve_trace("kv-zipf99", n_records=2000, seed=3)
+    update_heavy = serve_trace("kv-update", n_records=2000, seed=3)
+    assert update_heavy.write_fraction > read_mostly.write_fraction + 0.1
+
+
+def test_usvc_traces_carry_dependent_loads():
+    trace = serve_trace("usvc-chase", n_records=2000, seed=3)
+    deps = sum(1 for r in trace.records if r.dep)
+    assert deps > 0.05 * len(trace)
+
+
+# ----------------------------------------------------------------------
+# Zipfian fidelity
+# ----------------------------------------------------------------------
+def test_zipf_mass_bounds_and_skew_ordering():
+    assert zipf_mass(1000, 0.99, 0) == 0.0
+    assert zipf_mass(1000, 0.99, 1000) == pytest.approx(1.0)
+    # Higher theta concentrates more mass on the head.
+    assert zipf_mass(1000, 0.99, 10) > zipf_mass(1000, 0.75, 10)
+
+
+def test_zipfian_top_mass_matches_empirical_frequency():
+    """The analytic top-1% mass must match the sampled distribution."""
+    pattern = ZipfianPattern(4096 * ELEMS_PER_BLOCK, theta=0.99, seed=3)
+    analytic = pattern.top_mass(0.01)
+    top = max(1, int(pattern.n_keys * 0.01))
+    hot_slots = {pattern._slot[rank] for rank in range(top)}
+    rng = random.Random(7)
+    n = 40000
+    hits = Counter()
+    for _ in range(n):
+        _, addr_elems, _, _ = pattern.step(rng)
+        hits[addr_elems // ELEMS_PER_BLOCK in hot_slots] += 1
+    empirical = hits[True] / n
+    assert empirical == pytest.approx(analytic, abs=0.02)
+    # theta=0.99 over ~4k keys: the hot head carries a large share.
+    assert analytic > 0.35
+
+
+def test_zipfian_head_and_tail_use_distinct_pcs():
+    pattern = ZipfianPattern(512 * ELEMS_PER_BLOCK, theta=0.99, seed=3)
+    rng = random.Random(5)
+    pcs = {pattern.step(rng)[0] for _ in range(5000)}
+    assert {0, 2} <= pcs          # head fast path vs. tail fill path
+    assert pcs <= {0, 1, 2, 3}
+
+
+def test_zipfian_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ZipfianPattern(1024, theta=0.0)
+    pattern = ZipfianPattern(1024, theta=0.9)
+    with pytest.raises(ValueError):
+        pattern.top_mass(0.0)
+
+
+# ----------------------------------------------------------------------
+# Trace-cache routing
+# ----------------------------------------------------------------------
+def test_serve_traces_round_trip_the_cache_byte_identical(tmp_path):
+    """Cold generate+persist, then a warm read from a *fresh* cache
+    object (disk path, no memo), must both equal direct generation."""
+    direct = serve_trace("stream-scan", n_records=500, seed=9,
+                         scale=DEFAULT_SCALE)
+    cold_cache = TraceCache(tmp_path / "traces")
+    cold = cached_trace("serve", "stream-scan", 500, 9, DEFAULT_SCALE,
+                        cache=cold_cache)
+    assert cold_cache.writes == 1
+    warm_cache = TraceCache(tmp_path / "traces")
+    warm = cached_trace("serve", "stream-scan", 500, 9, DEFAULT_SCALE,
+                        cache=warm_cache)
+    assert warm_cache.hits == 1 and warm_cache.memo_hits == 0
+    assert direct.records == cold.records == warm.records
+    assert direct.suite == warm.suite == "SERVE"
+    assert direct.name == warm.name == "stream-scan"
