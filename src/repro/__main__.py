@@ -30,8 +30,14 @@ while every healthy point finishes (``--fail-fast`` aborts instead).
 ``--manifest`` checkpoints campaign status so ``--resume`` picks up
 where an interrupted or partially failed sweep left off.
 
+``--checkpoint`` (run/sweep/campaign) enables mid-flight save-states
+(``repro.harness.preempt``): watchdog timeouts and resource-guard
+breaches preempt workers cleanly, and the retried point *resumes* from
+its save-state instead of restarting — byte-identically.
+
 Exit codes: 0 success; 2 usage error; 3 sweep finished but some points
-failed permanently; 130 interrupted (manifest flushed when enabled).
+failed permanently, or the sweep manifest could not be persisted;
+130 interrupted (manifest flushed when enabled).
 """
 
 from __future__ import annotations
@@ -161,6 +167,29 @@ def _enable_trace_cache(args) -> None:
         os.environ["REPRO_TRACE_CACHE"] = args.trace_cache
 
 
+def _enable_checkpoint(args) -> None:
+    """Propagate ``--checkpoint`` through the environment (same
+    mechanism as ``--sanitize``) so pool workers save/restore too.
+
+    ``--checkpoint`` with no value enables on-demand (preempt-driven)
+    save-states; a value adds an every-N-events cadence.  The state
+    directory defaults to ``<obs-dir>/ckpt`` unless ``REPRO_CKPT_DIR``
+    is already set.
+    """
+    events = getattr(args, "checkpoint", None)
+    secs = getattr(args, "checkpoint_secs", None)
+    if events is None and secs is None:
+        return
+    from .harness.preempt import (CKPT_DIR_ENV, CKPT_EVENTS_ENV,
+                                  CKPT_SECS_ENV)
+    if not os.environ.get(CKPT_DIR_ENV, "").strip():
+        os.environ[CKPT_DIR_ENV] = os.path.join(args.obs_dir, "ckpt")
+    if events:
+        os.environ[CKPT_EVENTS_ENV] = str(events)
+    if secs:
+        os.environ[CKPT_SECS_ENV] = str(secs)
+
+
 def _supervision_from_args(args, tag: str):
     """Build the ``supervised_sweep`` context from CLI flags.
 
@@ -213,6 +242,16 @@ def _supervision_from_args(args, tag: str):
     return ctx, incidents
 
 
+def _manifest_persist_abort(exc, incidents, obs_dir, tag: str) -> int:
+    """Shared epilogue for :class:`ManifestPersistError` (exit code 3)."""
+    from .obs.incidents import maybe_write
+    incidents.add("manifest-persist", path=str(exc.path),
+                  strikes=exc.strikes)
+    maybe_write(incidents, obs_dir)
+    print(f"\n[{tag}] aborted: {exc}", file=sys.stderr)
+    return 3
+
+
 def _finish_supervised(sup, incidents, failures, obs_dir) -> int:
     """Shared epilogue: failure table, incident artifact, exit code."""
     from .harness.supervise import format_failure_table
@@ -238,12 +277,14 @@ def _cmd_run(args) -> int:
 
     from .analysis import format_table
     from .harness import ExperimentSpec, run_many
-    from .harness.supervise import SweepFailedError, SweepInterrupted
+    from .harness.supervise import (ManifestPersistError, SweepFailedError,
+                                    SweepInterrupted)
     from .workloads import gap_workload_names, serve_names
 
     if args.sanitize:
         _enable_sanitizer()
     _enable_trace_cache(args)
+    _enable_checkpoint(args)
     obs_on = _enable_obs(args)
     if args.workload in gap_workload_names():
         suite = "gap"
@@ -278,6 +319,8 @@ def _cmd_run(args) -> int:
     except SweepInterrupted as exc:
         print(f"\n[run] interrupted: {exc}", file=sys.stderr)
         return 130
+    except ManifestPersistError as exc:
+        return _manifest_persist_abort(exc, incidents, args.obs_dir, "run")
     if args.json:
         print(json.dumps(
             [{"spec": spec.to_dict(),
@@ -315,7 +358,8 @@ def _cmd_sweep(args) -> int:
     from .harness.runner import session_stats
     from .harness.scale import scale_override
     from .harness.store import set_default_store
-    from .harness.supervise import SweepFailedError, SweepInterrupted
+    from .harness.supervise import (ManifestPersistError, SweepFailedError,
+                                    SweepInterrupted)
     from .harness.sweeps import available_sweeps, run_sweep
 
     if args.list or not args.name:
@@ -331,6 +375,7 @@ def _cmd_sweep(args) -> int:
     if args.sanitize:
         _enable_sanitizer()
     _enable_trace_cache(args)
+    _enable_checkpoint(args)
     obs_on = _enable_obs(args)
     if obs_on and not args.no_store:
         print("[sweep] observability on: store-cached points are served "
@@ -366,6 +411,8 @@ def _cmd_sweep(args) -> int:
         from .obs.incidents import maybe_write
         maybe_write(incidents, args.obs_dir)
         return 130
+    except ManifestPersistError as exc:
+        return _manifest_persist_abort(exc, incidents, args.obs_dir, "sweep")
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -462,13 +509,15 @@ def _cmd_campaign(args) -> int:
 
     # -- campaign run ---------------------------------------------------
     from .harness.runner import run_many, session_stats
-    from .harness.supervise import SweepFailedError, SweepInterrupted
+    from .harness.supervise import (ManifestPersistError, SweepFailedError,
+                                    SweepInterrupted)
 
     if args.engine:
         os.environ["REPRO_ENGINE"] = args.engine
     if args.sanitize:
         _enable_sanitizer()
     _enable_trace_cache(args)
+    _enable_checkpoint(args)
     # The campaign is a standing resumable sweep: checkpoint to the
     # campaign's own manifest unless the caller picked another path.
     if args.manifest is None:
@@ -498,6 +547,9 @@ def _cmd_campaign(args) -> int:
         from .obs.incidents import maybe_write
         maybe_write(incidents, args.obs_dir)
         return 130
+    except ManifestPersistError as exc:
+        return _manifest_persist_abort(exc, incidents, args.obs_dir,
+                                       "campaign")
     status = campaign_status(
         campaign, _campaign_store(args),
         manifest_counts=sup.manifest.counts() if sup.manifest else None)
@@ -682,6 +734,27 @@ def _cmd_store(args) -> int:
                       "on next use")
             dirty = dirty or bool(trace_report.quarantined
                                   or trace_report.errors)
+        # Sweep/campaign manifests are the third artifact family that
+        # corrupts the same way; a torn ledger would crash --resume.
+        from pathlib import Path
+
+        from .harness.supervise import fsck_manifests
+        manifest_paths = list(getattr(args, "manifests", None) or [])
+        if not manifest_paths:
+            manifest_paths = sorted(
+                str(p) for p in Path(".").glob("*.manifest.json"))
+        if manifest_paths:
+            m_report = fsck_manifests(manifest_paths)
+            if m_report.scanned:
+                print(f"manifests {m_report.summary()}")
+                for line in m_report.errors:
+                    print(f"  {line}")
+                if m_report.quarantined:
+                    print("quarantined manifests moved aside; the next "
+                          "sweep starts a fresh ledger (done points still "
+                          "come from the store)")
+                dirty = dirty or bool(m_report.quarantined
+                                      or m_report.errors)
         return 1 if dirty else 0
     print(f"store root: {store.root}")
     print(f"namespace:  {store.namespace.name}")
@@ -795,9 +868,20 @@ def _add_supervise_args(parser: argparse.ArgumentParser,
     parser.add_argument("--chaos", default=None,
                         metavar="PROFILE:SEED[:NUM/DEN]",
                         help="inject deterministic faults (testing): "
-                             "profiles raise/flaky/hang/kill/corrupt/all, "
-                             "e.g. 'all:7' or 'flaky:3:1/2'; equivalent "
-                             "to REPRO_CHAOS")
+                             "profiles raise/flaky/hang/kill/corrupt/"
+                             "preempt/ckpt-corrupt/all, e.g. 'all:7' or "
+                             "'flaky:3:1/2'; equivalent to REPRO_CHAOS")
+    parser.add_argument("--checkpoint", nargs="?", const=0, type=int,
+                        default=None, metavar="EVENTS",
+                        help="write mid-run save-states so preempted "
+                             "points resume instead of restarting; an "
+                             "EVENTS value adds a periodic cadence "
+                             "(states land in <obs-dir>/ckpt; equivalent "
+                             "to REPRO_CKPT_DIR/REPRO_CKPT_EVENTS)")
+    parser.add_argument("--checkpoint-secs", type=float, default=None,
+                        metavar="S",
+                        help="also checkpoint every S wall-clock seconds "
+                             "(implies --checkpoint; REPRO_CKPT_SECS)")
     if with_manifest:
         parser.add_argument("--manifest", nargs="?",
                             const="sweep.manifest.json",
@@ -1035,6 +1119,11 @@ def build_parser() -> argparse.ArgumentParser:
     fsck.add_argument("--store", default=argparse.SUPPRESS, metavar="PATH",
                       help="result-store root (default: the process "
                            "default store / $REPRO_RESULT_STORE)")
+    fsck.add_argument("--manifests", nargs="*", default=None,
+                      metavar="PATH",
+                      help="sweep/campaign manifest files to validate "
+                           "(default: *.manifest.json in the current "
+                           "directory)")
 
     check = sub.add_parser(
         "check", help="SimSan static lint (determinism + hot-path rules)")

@@ -34,6 +34,15 @@ Faults (``all`` = every one of them):
 ``corrupt``
     Result-store writes for selected points are truncated after the
     atomic rename — ``fsck`` / hardened ``get`` must quarantine them.
+``preempt``
+    A preempt request is latched before the first attempt — the
+    checkpoint policy must save state and stop cleanly, and the retry
+    must *resume* the save-state to a byte-identical result.  No-ops
+    when checkpointing (``REPRO_CKPT_DIR``) is disabled.
+``ckpt-corrupt``
+    Save-state writes for selected points are truncated after the
+    atomic rename — restore must quarantine the torn file and
+    cold-start (every attempt, like ``corrupt``).
 
 ``hang``/``kill`` are *disruptive*: they are only injected inside
 supervised worker processes, never in-process (a serial sweep injecting
@@ -52,11 +61,12 @@ from typing import Dict, Optional, Tuple
 ENV_VAR = "REPRO_CHAOS"
 
 #: individual fault names (profile ``all`` expands to this tuple)
-FAULTS: Tuple[str, ...] = ("raise", "flaky", "hang", "kill", "corrupt")
+FAULTS: Tuple[str, ...] = ("raise", "flaky", "hang", "kill", "corrupt",
+                           "preempt", "ckpt-corrupt")
 
 #: faults that are injected on the first attempt only, so a retry (or a
 #: watchdog kill + retry) recovers the point
-TRANSIENT_FAULTS: Tuple[str, ...] = ("flaky", "hang", "kill")
+TRANSIENT_FAULTS: Tuple[str, ...] = ("flaky", "hang", "kill", "preempt")
 
 #: faults that require a sacrificial worker process
 DISRUPTIVE_FAULTS: Tuple[str, ...] = ("hang", "kill")
@@ -164,13 +174,18 @@ def inject_execute(cfg: ChaosConfig, key: str, attempt: int,
     Called by the supervised worker (``disruptive_ok=True``) and by the
     serial runner (``disruptive_ok=False`` — hang/kill would take the
     main process down, so serial sweeps only see exception faults).
-    Order is fixed (kill > hang > flaky > raise) so a point selected for
-    several faults behaves identically everywhere.
+    Order is fixed (kill > hang > preempt > flaky > raise) so a point
+    selected for several faults behaves identically everywhere.
+    ``preempt`` only latches a request; the checkpoint policy consumes
+    it at the next watcher boundary inside the simulation.
     """
     if disruptive_ok and should_inject(cfg, "kill", key, attempt):
         os._exit(137)
     if disruptive_ok and should_inject(cfg, "hang", key, attempt):
         time.sleep(HANG_SECONDS)
+    if should_inject(cfg, "preempt", key, attempt):
+        from ..harness.preempt import chaos_preempt
+        chaos_preempt()
     if should_inject(cfg, "flaky", key, attempt):
         raise OSError(f"chaos: injected transient fault for {key[:12]}")
     if should_inject(cfg, "raise", key, attempt):

@@ -172,6 +172,12 @@ TAINT_SANITIZERS: FrozenSet[str] = frozenset({
     "repro.checks.chaos.chaos_from_env",
     # content-addressed trace cache: served bytes equal generated bytes
     "repro.workloads.tracecache.default_trace_cache",
+    # checkpoint/preempt plumbing: restore-then-run is byte-identical to
+    # an uninterrupted run (golden-enforced), so where a save-state lands
+    # or whether one exists cannot change a SimResult
+    "repro.harness.preempt.checkpoint_from_env",
+    "repro.harness.preempt.guards_from_env",
+    "repro.harness.preempt.preempt_grace",
 })
 
 #: Worker entry points: everything these reach runs inside a pool
@@ -202,6 +208,11 @@ WORKER_ENV_API: FrozenSet[str] = frozenset({
     "repro.obs.schema.obs_from_env",
     "repro.workloads.tracecache.default_trace_cache",
     "repro.harness.store.default_store",
+    # checkpoint/preempt config re-resolves per task from the shipped
+    # REPRO_CKPT_* / guard vars (repro.harness.preempt)
+    "repro.harness.preempt.checkpoint_from_env",
+    "repro.harness.preempt.guards_from_env",
+    "repro.harness.preempt.preempt_grace",
 })
 
 #: Decorator-registry indirection: resolver function -> the decorator

@@ -266,6 +266,10 @@ HOT_PATH_MANIFEST: FrozenSet[str] = frozenset({
 ENGINE_MODULES: FrozenSet[str] = frozenset({
     "repro.sim.engine",
     "repro.sim.batched.engine",
+    # save-state codec: snapshot/restore round-trips the engines' queue
+    # state (via their __getstate__/__setstate__), so it is engine-module
+    # code even though it lives outside the two backends
+    "repro.sim.savestate",
 })
 
 #: Raw trace-generator calls SS401 flags inside ``repro.harness``:

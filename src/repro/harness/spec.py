@@ -162,7 +162,8 @@ class ExperimentSpec:
                                       suite=self.suite)
         return [t.records for t in traces]
 
-    def execute(self, obs: Optional[object] = None) -> SimResult:
+    def execute(self, obs: Optional[object] = None,
+                notes: Optional[Dict] = None) -> SimResult:
         """Run the simulation for this point (no caching — see the runner).
 
         ``obs`` is an optional :class:`~repro.obs.ObsConfig`; when omitted
@@ -174,18 +175,52 @@ class ExperimentSpec:
         overrides it (the CI cross-backend job re-executes fixture specs
         under another backend this way; backends are bit-identical, so
         the override cannot change the result).
+
+        When checkpointing is enabled (``REPRO_CKPT_DIR`` — see
+        :mod:`repro.harness.preempt`) a valid save-state for this spec is
+        restored and *resumed* instead of cold-starting, and fresh runs
+        carry a :class:`~repro.harness.preempt.CheckpointPolicy` so they
+        can be preempted mid-flight.  A refused (corrupt / version-skewed)
+        state is quarantined and the point cold-starts: never a wrong
+        answer.  ``notes``, when given, collects ``resumed`` /
+        ``quarantined`` annotations for the caller's incident log.
         """
         from ..sim.backends import build_system
+        from . import preempt
         if obs is None:
             from ..obs.schema import obs_from_env
             obs = obs_from_env()
         if obs is not None and obs.enabled and obs.tag == "run":
             obs = obs.with_tag(self.label())
+        ckpt = preempt.checkpoint_from_env()
+        policy = None
+        if ckpt is not None:
+            from .store import code_fingerprint
+            key = self.key()
+            policy = preempt.CheckpointPolicy.for_spec(
+                ckpt, key, code_fingerprint())
+            system, note = preempt.try_restore(
+                policy.path, spec_key=key, fingerprint=policy.fingerprint)
+            if note is not None and notes is not None:
+                notes["quarantined"] = note
+            if system is not None:
+                # The policy pickled inside the save-state (it rides the
+                # watcher mux); resume() rearms it — re-installing would
+                # reset every watcher countdown and break determinism.
+                if notes is not None:
+                    notes["resumed"] = system.engine.events_processed
+                result = system.resume()
+                preempt.clear_state(policy.path)
+                return result
         traces = self.build_traces()
         n = min(len(t) for t in traces)
         system = build_system(self.build_config(), traces,
                               engine=self.engine, llc_policy=self.policy,
                               prefetch=self.prefetch, seed=self.seed,
                               measure_records=n // 2, warmup_records=n // 2,
-                              collect_deltas=self.collect_deltas, obs=obs)
-        return system.run()
+                              collect_deltas=self.collect_deltas, obs=obs,
+                              checkpoint=policy)
+        result = system.run()
+        if policy is not None:
+            preempt.clear_state(policy.path)
+        return result

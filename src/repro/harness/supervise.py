@@ -44,6 +44,8 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
                     Union)
 
 from ..sim.stats import SimResult
+from . import preempt
+from .preempt import PREEMPT_ERROR
 from .spec import ExperimentSpec
 
 log = logging.getLogger(__name__)
@@ -56,12 +58,15 @@ TIMEOUT_ERROR = "WorkerTimeout"
 #: family covers full disks, dropped pipes, and sandbox refusals; the
 #: synthetic names cover watchdog kills and dead workers (OOM stand-ins);
 #: BrokenProcessPool is kept for payloads from legacy executors.
+#: Preemption is transient by construction: the requeued attempt resumes
+#: from the save-state (or cold-restarts if the save failed).
 TRANSIENT_ERROR_NAMES = frozenset({
     "OSError", "IOError", "EnvironmentError", "InterruptedError",
     "BlockingIOError", "BrokenPipeError", "ConnectionError",
     "ConnectionAbortedError", "ConnectionRefusedError",
     "ConnectionResetError", "TimeoutError", "MemoryError",
     "BrokenProcessPool", CRASH_ERROR, TIMEOUT_ERROR,
+    PREEMPT_ERROR, "PreemptedError",
 })
 
 #: default per-point deadline: a generous base plus work-proportional
@@ -83,7 +88,7 @@ class FailedResult:
     """What the sweep records for a point that could not be simulated."""
 
     spec: ExperimentSpec
-    kind: str                 # "error" | "timeout" | "crash"
+    kind: str                 # "error" | "timeout" | "crash" | "preempted"
     error: str                # exception type name (or synthetic)
     message: str
     traceback: str = ""
@@ -249,6 +254,27 @@ STATUS_FAILED = "failed"
 MANIFEST_VERSION = 1
 DEFAULT_MANIFEST = "sweep.manifest.json"
 
+#: consecutive manifest-persist failures tolerated before the sweep aborts
+MANIFEST_STRIKES = 3
+
+
+class ManifestPersistError(RuntimeError):
+    """The manifest failed to persist ``MANIFEST_STRIKES`` times in a row.
+
+    One failed write is only a warning (a full disk may recover), but a
+    sweep whose ledger cannot be written would silently lose resumability
+    — the CLI turns this into exit code 3.
+    """
+
+    def __init__(self, path: Path, strikes: int,
+                 last_error: BaseException) -> None:
+        super().__init__(
+            f"manifest at {path} failed to persist {strikes} times in a "
+            f"row (last: {last_error}); aborting so the sweep cannot "
+            f"silently lose its ledger")
+        self.path = path
+        self.strikes = strikes
+
 
 class SweepManifest:
     """Checkpoint ledger for one campaign: done/failed/pending points.
@@ -268,6 +294,7 @@ class SweepManifest:
         self.points: Dict[str, Dict[str, Any]] = {}
         #: False = keep in memory only, write on interrupt/failure flush
         self.persist = persist
+        self._strikes = 0   # consecutive checkpoint() failures
 
     # -- bookkeeping ----------------------------------------------------
     def register(self, spec: ExperimentSpec) -> str:
@@ -295,6 +322,16 @@ class SweepManifest:
         entry["error"] = {"kind": failure.kind, "error": failure.error,
                           "message": failure.message,
                           "permanent": failure.permanent}
+
+    def mark_preempted(self, spec: ExperimentSpec,
+                       ckpt_path: Optional[str]) -> None:
+        """Record checkpoint lineage: the point was preempted and its
+        requeued attempt will resume from ``ckpt_path`` (``None`` means
+        the save failed and the retry cold-restarts)."""
+        entry = self._entry(spec)
+        entry["preempts"] = entry.get("preempts", 0) + 1
+        entry["ckpt"] = ckpt_path
+        self.checkpoint()
 
     def reset_failures(self) -> int:
         """Failed -> pending (a ``--resume`` gives them a fresh start)."""
@@ -343,13 +380,26 @@ class SweepManifest:
         return self.path
 
     def checkpoint(self) -> None:
-        """Persist if this manifest is file-backed (never raises)."""
+        """Persist if this manifest is file-backed.
+
+        A single failed write is tolerated (warning), but
+        ``MANIFEST_STRIKES`` consecutive failures raise
+        :class:`ManifestPersistError` — a campaign without a ledger
+        cannot resume, so limping on would be silent data loss.
+        """
         if not self.persist:
             return
         try:
             self.save()
         except OSError as exc:
-            log.warning("manifest checkpoint failed: %s", exc)
+            self._strikes += 1
+            log.warning("manifest checkpoint failed (%d/%d): %s",
+                        self._strikes, MANIFEST_STRIKES, exc)
+            if self._strikes >= MANIFEST_STRIKES:
+                raise ManifestPersistError(self.path, self._strikes,
+                                           exc) from exc
+            return
+        self._strikes = 0
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "SweepManifest":
@@ -362,6 +412,65 @@ class SweepManifest:
                        meta=data.get("meta", {}))
         manifest.points = dict(data.get("points", {}))
         return manifest
+
+
+def fsck_manifests(paths: Sequence[Union[str, Path]]) -> Any:
+    """Validate sweep/campaign manifest files; quarantine corrupt ones.
+
+    A truncated or hand-mangled manifest would crash ``--resume``, so
+    ``store fsck`` covers the ledgers too: every file must parse, carry
+    a supported version, and hold entries whose spec round-trips to its
+    key with a known status.  Bad files move aside (``quarantine/``
+    beside the manifest, numbered-suffix on collision — the store's
+    idiom) and the next sweep starts a fresh ledger; done points still
+    come from the result store.  Returns a
+    :class:`repro.harness.store.FsckReport`.
+    """
+    from .store import FsckReport
+    statuses = (STATUS_PENDING, STATUS_DONE, STATUS_FAILED)
+    report = FsckReport()
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_file():
+            continue
+        report.scanned += 1
+        try:
+            manifest = SweepManifest.load(path)
+            for key, entry in manifest.points.items():
+                spec = ExperimentSpec.from_dict(entry["spec"])
+                if spec.key() != key:
+                    raise ValueError(
+                        f"entry {key[:12]} does not match its spec")
+                if entry["status"] not in statuses:
+                    raise ValueError(
+                        f"entry {key[:12]} has unknown status "
+                        f"{entry['status']!r}")
+        except (OSError, KeyError, TypeError, ValueError) as exc:
+            report.errors.append(f"{path.name}: {exc}")
+            moved = _quarantine_manifest(path)
+            if moved is not None:
+                report.quarantined.append(str(moved))
+            continue
+        report.ok += 1
+    return report
+
+
+def _quarantine_manifest(path: Path) -> Optional[Path]:
+    """Move a corrupt manifest aside (never raises, like the store)."""
+    try:
+        qdir = path.parent / "quarantine"
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = qdir / f"{path.name}.{suffix}"
+        os.replace(path, target)
+    except OSError as exc:
+        log.warning("could not quarantine manifest %s: %s", path, exc)
+        return None
+    log.warning("quarantined corrupt manifest %s", path.name)
+    return target
 
 
 # ----------------------------------------------------------------------
@@ -503,19 +612,30 @@ def classify_failure(retry: RetryPolicy,
                      error: str, message: str, traceback: str,
                      duration: float, requeue: Callable[[], None],
                      fail: Callable[[FailedResult], None],
-                     worker: Optional[int] = None) -> None:
+                     worker: Optional[int] = None,
+                     ckpt: Optional[Dict[str, Any]] = None) -> None:
     """Route one bad point: transient -> ``requeue``, else ``fail``.
 
     The spawn pool (:class:`SupervisedPool`) and the warm pool
     (:mod:`repro.harness.turbo`) share this so retry/backoff semantics
     cannot drift between them.  ``worker`` (a pid) attributes timeout and
     crash incidents to the specific worker process that served the point.
+    ``ckpt`` (``{"path", "events"}``) rides along for ``preempted``
+    points: the incident names the save-state and the manifest records
+    the checkpoint lineage, so the requeued attempt's restore is
+    auditable.
     """
     transient = retry.is_transient_name(error)
-    if supervisor is not None and kind in ("timeout", "crash"):
+    if supervisor is not None and kind in ("timeout", "crash", "preempted"):
         extra: Dict[str, Any] = {} if worker is None else {"worker": worker}
+        if ckpt:
+            extra["ckpt"] = ckpt.get("path")
+            extra["events"] = ckpt.get("events")
         supervisor.record_incident(kind, spec, error=error, attempt=attempt,
                                    **extra)
+    if kind == "preempted" and supervisor is not None \
+            and supervisor.manifest is not None:
+        supervisor.manifest.mark_preempted(spec, (ckpt or {}).get("path"))
     if transient and attempt + 1 < retry.max_attempts:
         requeue()
         return
@@ -536,27 +656,45 @@ def _supervised_worker(conn: Any, spec_data: Dict[str, Any],
     kill or hang only costs one sacrificial worker.
     """
     start = time.monotonic()
+    notes: Dict[str, Any] = {}
     try:
         from ..checks.chaos import chaos_from_env, inject_execute
+        preempt.clear_preempt()   # a late signal for a previous task
+        if preempt.checkpoint_from_env() is not None:
+            # Only checkpointed tasks trade SIGTERM for a clean preempt;
+            # otherwise default teardown keeps watchdog kills instant.
+            preempt.install_preempt_handler()
         spec = ExperimentSpec.from_dict(spec_data)
         chaos = chaos_from_env()
         if chaos is not None:
             inject_execute(chaos, spec.key(), attempt, disruptive_ok=True)
-        result = spec.execute()
+        result = spec.execute(notes=notes)
         payload: Dict[str, Any] = {"ok": True, "result": result.to_dict(),
                                    "duration": time.monotonic() - start}
+    except preempt.PreemptedError as exc:
+        payload = {"ok": False, "preempted": True, "error": PREEMPT_ERROR,
+                   "message": str(exc),
+                   "ckpt": {"path": exc.path, "events": exc.events},
+                   "duration": time.monotonic() - start}
     except BaseException as exc:   # report absolutely everything
         import traceback as tb_mod
         payload = {"ok": False, "error": type(exc).__name__,
                    "message": str(exc),
                    "traceback": tb_mod.format_exc()[-4000:],
                    "duration": time.monotonic() - start}
+    if notes:
+        payload["notes"] = notes
     try:
         conn.send(payload)
     except (BrokenPipeError, OSError):  # parent already gave up on us
         pass
     finally:
         conn.close()
+
+
+#: sentinel distinguishing "recv from the pipe" from "payload is None
+#: because the worker died" in SupervisedPool's reap path
+_UNRECEIVED = object()
 
 
 class _ActiveTask:
@@ -641,16 +779,22 @@ class SupervisedPool:
                 spec, attempt, proc, parent_conn, now,
                 None if timeout is None else now + timeout))
 
-        def reap(task: _ActiveTask) -> None:
+        def reap(task: _ActiveTask,
+                 payload: Any = _UNRECEIVED) -> None:
             """A task's pipe is readable: result, reported error, or EOF
-            from a dead worker."""
-            try:
-                payload = task.conn.recv()
-            except (EOFError, OSError):
-                payload = None
+            from a dead worker.  ``payload`` is passed pre-received when
+            :func:`repro.harness.preempt.try_preempt` already drained
+            the pipe."""
+            if payload is _UNRECEIVED:
+                try:
+                    payload = task.conn.recv()
+                except (EOFError, OSError):
+                    payload = None
             task.conn.close()
             task.proc.join()
             active.remove(task)
+            if payload is not None:
+                self._record_notes(task.spec, payload)
             if payload is None:
                 code = task.proc.exitcode
                 self._handle_bad(task, "crash", CRASH_ERROR,
@@ -661,6 +805,11 @@ class SupervisedPool:
                 on_success(task.spec,
                            SimResult.from_dict(payload["result"]),
                            payload["duration"])
+            elif payload.get("preempted"):
+                self._handle_bad(task, "preempted", payload["error"],
+                                 payload["message"], "",
+                                 payload.get("duration", 0.0),
+                                 requeue, fail, ckpt=payload.get("ckpt"))
             else:
                 self._handle_bad(task, "error", payload["error"],
                                  payload["message"],
@@ -693,6 +842,30 @@ class SupervisedPool:
             on_failure(failure)
             if not keep_going:
                 aborted = True
+
+        guards = preempt.guards_from_env()
+        guard_next = 0.0
+
+        def guard_sweep(now: float) -> None:
+            """RSS/disk budget checks (~1s cadence): breach -> preempt
+            the worker (clean checkpoint) or kill it; either way the
+            point requeues as ``preempted`` and resumes or restarts."""
+            ckpt_cfg = preempt.checkpoint_from_env()
+            disk_path = ckpt_cfg.dir if ckpt_cfg is not None else "."
+            for task in list(active):
+                breach = preempt.guard_breach(guards, task.proc.pid,
+                                              disk_path)
+                if breach is None:
+                    continue
+                if self.supervisor is not None:
+                    self.supervisor.record_incident(
+                        "guard", task.spec, reason=breach,
+                        worker=task.proc.pid)
+                if self._try_preempt(task, reap):
+                    continue
+                kill(task, "guard")
+                self._handle_bad(task, "preempted", PREEMPT_ERROR, breach,
+                                 "", now - task.started, requeue, fail)
 
         try:
             while queue or active:
@@ -730,12 +903,19 @@ class SupervisedPool:
                 for task in [t for t in active
                              if t.deadline is not None
                              and now > t.deadline]:
+                    # Checkpoint-first: a preempted point resumes from
+                    # its save-state instead of repeating all its work.
+                    if self._try_preempt(task, reap):
+                        continue
                     kill(task, "timeout")
                     self._handle_bad(
                         task, "timeout", TIMEOUT_ERROR,
                         f"point exceeded its "
                         f"{task.deadline - task.started:.0f}s deadline",
                         "", now - task.started, requeue, fail)
+                if guards.enabled and now >= guard_next:
+                    guard_next = now + 1.0
+                    guard_sweep(now)
         except PoolUnavailable:
             self._abort(active, kill)
             raise
@@ -747,11 +927,41 @@ class SupervisedPool:
     def _handle_bad(self, task: _ActiveTask, kind: str, error: str,
                     message: str, traceback: str, duration: float,
                     requeue: Callable[[_ActiveTask, str], None],
-                    fail: Callable[[FailedResult], None]) -> None:
+                    fail: Callable[[FailedResult], None],
+                    ckpt: Optional[Dict[str, Any]] = None) -> None:
         classify_failure(self.retry, self.supervisor, task.spec,
                          task.attempt, kind, error, message, traceback,
                          duration, lambda: requeue(task, error), fail,
-                         worker=task.proc.pid)
+                         worker=task.proc.pid, ckpt=ckpt)
+
+    def _record_notes(self, spec: ExperimentSpec,
+                      payload: Dict[str, Any]) -> None:
+        """Turn a worker's restore annotations into incidents."""
+        if self.supervisor is None:
+            return
+        notes = payload.get("notes") or {}
+        if "resumed" in notes:
+            self.supervisor.record_incident("resumed", spec,
+                                            events=notes["resumed"])
+        if "quarantined" in notes:
+            self.supervisor.record_incident("ckpt-quarantined", spec,
+                                            reason=notes["quarantined"])
+
+    def _try_preempt(self, task: _ActiveTask,
+                     reap: Callable[..., None]) -> bool:
+        """Ask a live worker to checkpoint instead of killing it.
+
+        True when the worker answered within the grace period — whatever
+        payload arrived (a preempted report, or a normal result racing
+        the signal) has been routed through ``reap``.
+        """
+        if preempt.checkpoint_from_env() is None:
+            return False
+        payload = preempt.try_preempt(task.proc, task.conn)
+        if payload is None:
+            return False
+        reap(task, payload)
+        return True
 
     @staticmethod
     def _abort(active: List[_ActiveTask],

@@ -38,6 +38,8 @@ import time
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
 
 from ..sim.stats import SimResult
+from . import preempt
+from .preempt import PREEMPT_ERROR
 from .spec import ExperimentSpec
 from .supervise import (
     CRASH_ERROR,
@@ -54,6 +56,10 @@ log = logging.getLogger(__name__)
 
 POOL_ENV = "REPRO_POOL"
 POOL_MODES = ("persistent", "spawn")
+
+#: sentinel distinguishing "recv from the pipe" from "payload is None
+#: because the worker died" in the pool's reap path
+_UNRECEIVED = object()
 
 
 def resolve_pool_mode(env: Optional[Dict[str, str]] = None) -> str:
@@ -90,23 +96,41 @@ def _apply_env(env: Dict[str, str]) -> None:
 def _execute_task(msg: Dict[str, Any]) -> Dict[str, Any]:
     """Run one task message; report failures as payloads, never raise."""
     start = time.monotonic()
+    notes: Dict[str, Any] = {}
+    previous_term = None
     try:
         from ..checks.chaos import chaos_from_env, inject_execute
         _apply_env(msg.get("env", {}))
+        preempt.clear_preempt()   # a late signal for a previous task
+        if preempt.checkpoint_from_env() is not None:
+            # Only checkpointed tasks trade SIGTERM for a clean preempt;
+            # the handler is restored below so an *idle* warm worker
+            # keeps default teardown (terminate() stays instant).
+            previous_term = preempt.install_preempt_handler()
         spec = ExperimentSpec.from_dict(msg["spec"])
         chaos = chaos_from_env()
         if chaos is not None:
             inject_execute(chaos, spec.key(), msg.get("attempt", 0),
                            disruptive_ok=True)
-        result = spec.execute()
-        return {"ok": True, "result": result.to_dict(),
-                "duration": time.monotonic() - start}
+        result = spec.execute(notes=notes)
+        payload: Dict[str, Any] = {"ok": True, "result": result.to_dict(),
+                                   "duration": time.monotonic() - start}
+    except preempt.PreemptedError as exc:
+        payload = {"ok": False, "preempted": True, "error": PREEMPT_ERROR,
+                   "message": str(exc),
+                   "ckpt": {"path": exc.path, "events": exc.events},
+                   "duration": time.monotonic() - start}
     except BaseException as exc:   # report absolutely everything
         import traceback as tb_mod
-        return {"ok": False, "error": type(exc).__name__,
-                "message": str(exc),
-                "traceback": tb_mod.format_exc()[-4000:],
-                "duration": time.monotonic() - start}
+        payload = {"ok": False, "error": type(exc).__name__,
+                   "message": str(exc),
+                   "traceback": tb_mod.format_exc()[-4000:],
+                   "duration": time.monotonic() - start}
+    finally:
+        preempt.restore_preempt_handler(previous_term)
+    if notes:
+        payload["notes"] = notes
+    return payload
 
 
 def _persistent_worker(conn: Any) -> None:
@@ -137,6 +161,11 @@ def _persistent_worker(conn: Any) -> None:
         try:
             conn.send(payload)
         except (BrokenPipeError, OSError):   # parent gave up on us
+            break
+        if payload.get("preempted"):
+            # A preempt is a wind-down request (watchdog, resource
+            # guard, or operator signal): exit so the parent respawns a
+            # fresh worker rather than reusing this one.
             break
     try:
         conn.close()
@@ -301,6 +330,8 @@ class PersistentPool:
         queue: List[Tuple[ExperimentSpec, int, float]] = [
             (spec, 0, 0.0) for spec in specs]
         aborted = False
+        guards = preempt.guards_from_env()
+        guard_next = 0.0
 
         def dispatch(worker: _PoolWorker, spec: ExperimentSpec,
                      attempt: int) -> bool:
@@ -334,23 +365,39 @@ class PersistentPool:
 
         def classify(spec: ExperimentSpec, key: str, attempt: int,
                      kind: str, error: str, message: str, traceback: str,
-                     duration: float, pid: Optional[int]) -> None:
+                     duration: float, pid: Optional[int],
+                     ckpt: Optional[Dict[str, Any]] = None) -> None:
             classify_failure(
                 retry, supervisor, spec, attempt, kind, error, message,
                 traceback, duration,
                 lambda: requeue(spec, key, attempt, error), fail,
-                worker=pid)
+                worker=pid, ckpt=ckpt)
 
-        def reap(worker: _PoolWorker) -> None:
-            """A busy worker's pipe is readable: payload or EOF."""
-            try:
-                payload = worker.conn.recv()
-            except (EOFError, OSError):
-                payload = None
+        def reap(worker: _PoolWorker, payload: Any = _UNRECEIVED) -> None:
+            """A busy worker's pipe is readable: payload or EOF.
+
+            ``payload`` is passed pre-received when
+            :func:`repro.harness.preempt.try_preempt` already drained
+            the pipe.
+            """
+            if payload is _UNRECEIVED:
+                try:
+                    payload = worker.conn.recv()
+                except (EOFError, OSError):
+                    payload = None
             spec, key, attempt = worker.spec, worker.key, worker.attempt
             started = worker.started
             pid = worker.proc.pid
             assert spec is not None
+            if payload is not None and supervisor is not None:
+                notes = payload.get("notes") or {}
+                if "resumed" in notes:
+                    supervisor.record_incident("resumed", spec,
+                                               events=notes["resumed"])
+                if "quarantined" in notes:
+                    supervisor.record_incident(
+                        "ckpt-quarantined", spec,
+                        reason=notes["quarantined"])
             if payload is None:      # worker died mid-task
                 self._discard(worker)
                 code = worker.proc.exitcode
@@ -361,11 +408,27 @@ class PersistentPool:
                 worker.clear()       # stays warm for the next task
                 on_success(spec, SimResult.from_dict(payload["result"]),
                            payload["duration"])
+            elif payload.get("preempted"):
+                self._discard(worker)   # the worker exits after a preempt
+                classify(spec, key, attempt, "preempted", payload["error"],
+                         payload["message"], "",
+                         payload.get("duration", 0.0), pid,
+                         ckpt=payload.get("ckpt"))
             else:
                 worker.clear()
                 classify(spec, key, attempt, "error", payload["error"],
                          payload["message"], payload.get("traceback", ""),
                          payload.get("duration", 0.0), pid)
+
+        def try_preempt_worker(worker: _PoolWorker) -> bool:
+            """Checkpoint-first alternative to the watchdog kill."""
+            if preempt.checkpoint_from_env() is None:
+                return False
+            payload = preempt.try_preempt(worker.proc, worker.conn)
+            if payload is None:
+                return False
+            reap(worker, payload)
+            return True
 
         try:
             while queue or any(w.busy for w in self._workers):
@@ -411,6 +474,10 @@ class PersistentPool:
                 for worker in [w for w in busy
                                if w.busy and w.deadline is not None
                                and now > w.deadline]:
+                    # Checkpoint-first: a preempted point resumes from
+                    # its save-state instead of repeating all its work.
+                    if try_preempt_worker(worker):
+                        continue
                     spec, key, attempt = (worker.spec, worker.key,
                                           worker.attempt)
                     started, deadline = worker.started, worker.deadline
@@ -421,6 +488,28 @@ class PersistentPool:
                              f"point exceeded its "
                              f"{deadline - started:.0f}s deadline",
                              "", now - started, pid)
+                if guards.enabled and now >= guard_next:
+                    guard_next = now + 1.0
+                    ckpt_cfg = preempt.checkpoint_from_env()
+                    disk_path = ckpt_cfg.dir if ckpt_cfg is not None else "."
+                    for worker in [w for w in self._workers if w.busy]:
+                        breach = preempt.guard_breach(
+                            guards, worker.proc.pid, disk_path)
+                        if breach is None:
+                            continue
+                        spec, key, attempt = (worker.spec, worker.key,
+                                              worker.attempt)
+                        started, pid = worker.started, worker.proc.pid
+                        assert spec is not None
+                        if supervisor is not None:
+                            supervisor.record_incident(
+                                "guard", spec, reason=breach, worker=pid)
+                        if try_preempt_worker(worker):
+                            continue
+                        self._discard(worker)
+                        classify(spec, key, attempt, "preempted",
+                                 PREEMPT_ERROR, breach, "",
+                                 now - started, pid)
         except BaseException:
             self._kill_busy()
             raise

@@ -168,6 +168,34 @@ class BatchedCache:
         self._view = _SetView(self)
 
     # ------------------------------------------------------------------
+    # Save-states (repro.sim.savestate)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle without the engine-calendar aliases.
+
+        ``_ebuckets``/``_etimes`` alias ``engine._buckets``/``_times``
+        for the inlined append; the engine's own ``__getstate__``
+        replaces those containers with normalized copies, so pickled
+        aliases would point at an orphaned calendar and post-restore
+        events would vanish.  They are dropped here and re-bound by
+        :meth:`~repro.sim.batched.system.BatchedSystem._relink` before
+        a restored system resumes.
+        """
+        state = {slot: getattr(self, slot) for slot in BatchedCache.__slots__}
+        state["_ebuckets"] = None
+        state["_etimes"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def relink_engine(self) -> None:
+        """Re-bind the calendar aliases to the (restored) engine."""
+        self._ebuckets = self.engine._buckets
+        self._etimes = self.engine._times
+
+    # ------------------------------------------------------------------
     # Address helpers / introspection (classic API)
     # ------------------------------------------------------------------
     def set_index(self, block: int) -> int:

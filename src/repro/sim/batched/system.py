@@ -43,3 +43,21 @@ class BatchedSystem(System):
         finally:
             if was_enabled:
                 gc.enable()
+
+    def resume(self) -> SimResult:
+        # Same GC discipline as run(): resumed segments execute the very
+        # same inner loops, so they get the same allocator behaviour.
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            return super().resume()
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    def _relink(self) -> None:
+        # Save-states drop the caches' engine-calendar aliases (see
+        # BatchedCache.__getstate__); re-bind them to the restored engine.
+        for cache in [self.llc] + self.l1s + self.l2s:
+            cache.relink_engine()

@@ -107,6 +107,27 @@ class Engine:
                 entry[0]()
 
     # ------------------------------------------------------------------
+    # Save-states (repro.sim.savestate)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle every slot verbatim.
+
+        Snapshots are only taken from inside a watcher call, where the
+        loop has already settled ``events_processed`` and popped the
+        event being dispatched — so the heap holds exactly the
+        undispatched future and a restored engine's ``run()`` continues
+        with the same arithmetic as the uninterrupted run.  Restore must
+        never re-register watchers (``_rewire_watchers`` would reset the
+        trampoline countdowns); the ``_watchers`` entries travel with
+        their live countdowns instead.
+        """
+        return {slot: getattr(self, slot) for slot in Engine.__slots__}
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def at(self, time: int, fn: Callable[..., None], *args: Any) -> None:

@@ -46,7 +46,7 @@ class System:
     __slots__ = ("cfg", "prefetch", "max_events", "engine", "dram",
                  "llc_policy", "monitor", "llc", "l1s", "l2s", "cores",
                  "_finished", "_warm", "warmup_records", "sanitize",
-                 "sanitizer", "obs", "sampler", "tracer")
+                 "sanitizer", "obs", "sampler", "tracer", "checkpoint")
 
     #: component classes; backend subclasses override these
     engine_cls = Engine
@@ -62,7 +62,8 @@ class System:
                  collect_deltas: bool = False,
                  max_events: Optional[int] = None,
                  sanitize: Optional[bool] = None,
-                 obs: Optional["ObsConfig"] = None) -> None:
+                 obs: Optional["ObsConfig"] = None,
+                 checkpoint: Optional[Any] = None) -> None:
         if len(traces) != cfg.n_cores:
             raise ValueError(
                 f"{cfg.n_cores} cores but {len(traces)} traces supplied")
@@ -78,6 +79,9 @@ class System:
         self.obs = obs
         self.sampler: Optional[Any] = None
         self.tracer: Optional[Any] = None
+        #: optional :class:`~repro.harness.preempt.CheckpointPolicy`;
+        #: installs last in :meth:`run` and travels inside save-states
+        self.checkpoint = checkpoint
         self.engine = self.engine_cls()
 
         # Memory side ------------------------------------------------------
@@ -130,8 +134,9 @@ class System:
             self.cores.append(core)
 
         # Cost-based policies (LACS) read per-core instruction progress.
-        self.llc.instr_counter = (
-            lambda core_id: self.cores[core_id].dispatched_instructions)
+        # A bound method, not a lambda, so the wired system stays
+        # picklable for save-states.
+        self.llc.instr_counter = self._core_instr_count
         # Inclusive LLCs back-invalidate the private levels on eviction.
         self.llc.upper_levels = list(self.l1s) + list(self.l2s)
 
@@ -150,6 +155,9 @@ class System:
                            n_cores=n_cores)
 
     # ------------------------------------------------------------------
+    def _core_instr_count(self, core_id: int) -> int:
+        return self.cores[core_id].dispatched_instructions
+
     def _core_warm(self, core: Core) -> None:
         """Reset measurement counters once every core passed its warmup."""
         self._warm += 1
@@ -204,16 +212,60 @@ class System:
         trip raises :class:`~repro.checks.sanitize.SanitizerError`.  The
         sanitizer observes between events and never perturbs state, so
         results are byte-identical either way.
+
+        With a :attr:`checkpoint` policy attached, save-states are
+        written on cadence and a pending preempt request surfaces as
+        :class:`~repro.harness.preempt.PreemptedError`; a system
+        restored from such a state continues via :meth:`resume`.
         """
-        sanitizer = None
         if self._sanitize_enabled():
             from ..checks.sanitize import attach_sanitizer
-            self.sanitizer = sanitizer = attach_sanitizer(self)
+            self.sanitizer = attach_sanitizer(self)
         self._attach_obs()
+        if self.checkpoint is not None:
+            # Installed after every other observer so its watcher entry
+            # sits last in the trampoline: when it fires (and possibly
+            # snapshots), all earlier entries are settled for the tick.
+            self.checkpoint.install(self)
         for core in self.cores:
             core.start()
+        return self._complete()
+
+    def resume(self) -> SimResult:
+        """Continue a system restored from a mid-run save-state.
+
+        Watchers (sanitizer, sampler, checkpoint policy) travel inside
+        the save-state with their live trampoline countdowns, so nothing
+        is re-registered here — re-registering would reset countdowns
+        and break byte-identity with the uninterrupted run.  The
+        checkpoint policy only re-arms its process-local wall clock.
+        """
+        self._relink()
+        if self.checkpoint is not None:
+            self.checkpoint.rearm()
+        return self._complete()
+
+    def _relink(self) -> None:
+        """Backend hook: restore intra-machine aliases after unpickling.
+
+        The classic machine has none; the batched backend re-binds the
+        caches' inlined engine-calendar references here.
+        """
+
+    def _complete(self) -> SimResult:
+        """Drive the engine to completion and build the result.
+
+        Shared tail of :meth:`run` and :meth:`resume`: the remaining
+        ``max_events`` budget is computed against events already
+        processed, so an interrupted-and-resumed bounded run stops at
+        the same event as an uninterrupted one.
+        """
+        sanitizer = self.sanitizer
         try:
-            self.engine.run(max_events=self.max_events)
+            budget = self.max_events
+            if budget is not None:
+                budget = max(0, budget - self.engine.events_processed)
+            self.engine.run(max_events=budget)
             if self._finished < self.cfg.n_cores:
                 unfinished = [c.core_id for c in self.cores if not c.finished]
                 raise RuntimeError(
@@ -230,6 +282,8 @@ class System:
                 sanitizer.uninstall()
             if self.sampler is not None:
                 self.sampler.uninstall()
+            if self.checkpoint is not None:
+                self.checkpoint.uninstall()
         result = self._result()
         if self.obs is not None and self.obs.out_dir is not None:
             from ..obs.schema import write_outputs

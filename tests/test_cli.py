@@ -309,6 +309,51 @@ def test_supervise_flag_validation(capsys):
     assert "--timeout" in capsys.readouterr().err
 
 
+def test_run_with_checkpoint_flag_absorbs_preempt_chaos(sweep_env,
+                                                        tmp_path, capsys):
+    """--checkpoint + chaos preempt: every point is preempted mid-run,
+    resumed from its save-state, and the output matches a clean run."""
+    import os
+    base = ["run", "462.libquantum", "--policies", "lru",
+            "--records", "600", "--no-store", "--json",
+            "--obs-dir", str(tmp_path / "obs")]
+    assert main(base + ["--checkpoint", "1000",
+                        "--chaos", "preempt:7:1/1"]) == 0
+    chaotic = json.loads(capsys.readouterr().out)
+    assert chaotic[0]["result"] is not None
+
+    for var in ("REPRO_CHAOS", "REPRO_CKPT_DIR", "REPRO_CKPT_EVENTS",
+                "REPRO_CKPT_SECS"):
+        os.environ.pop(var, None)
+    from repro.harness.runner import clear_memo
+    clear_memo()
+    assert main(base) == 0
+    clean = json.loads(capsys.readouterr().out)
+    assert chaotic == clean
+    # the resumed point completed, so its save-state was cleaned up
+    assert not list((tmp_path / "obs" / "ckpt").rglob("*.ckpt.gz"))
+
+
+def test_store_fsck_validates_manifests(sweep_env, tmp_path, capsys):
+    import os
+    manifest = tmp_path / "m.manifest.json"
+    assert main(["sweep", "fig07", "--workloads", "1", "--records", "200",
+                 "--workers", "1", "--quiet",
+                 "--manifest", str(manifest)]) == 0
+    capsys.readouterr()
+    assert main(["store", "fsck", "--manifests", str(manifest)]) == 0
+    assert "manifests fsck:" in capsys.readouterr().out
+
+    text = manifest.read_text()
+    manifest.write_text(text[:len(text) // 2])
+    assert main(["store", "fsck", "--manifests", str(manifest)]) == 1
+    out = capsys.readouterr().out
+    assert "1 quarantined" in out and "fresh ledger" in out
+    assert (tmp_path / "quarantine" / manifest.name).is_file()
+    assert main(["store", "fsck", "--manifests", str(manifest)]) == 0
+    os.environ.pop("REPRO_CHAOS", None)
+
+
 def test_store_fsck_command(sweep_env, capsys):
     assert main(["run", "462.libquantum", "--policies", "lru",
                  "--records", "600"]) == 0

@@ -77,6 +77,34 @@ def test_result_is_bit_identical_with_observers_attached(path, engine):
         f"under engine={engine}")
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("path", FIXTURES, ids=[p.stem for p in FIXTURES])
+def test_result_is_bit_identical_after_checkpoint_restore(
+        path, engine, tmp_path, monkeypatch):
+    """A forced mid-run checkpoint + restore must be invisible: the
+    resumed second half produces the exact fixture bytes on every
+    fixture, under both engines (the save-state contract)."""
+    from repro.harness import preempt
+
+    stored = json.loads(path.read_text())
+    spec = replace(ExperimentSpec.from_dict(stored["spec"]), engine=engine)
+    monkeypatch.setenv("REPRO_CKPT_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_CKPT_EVENTS", "2000")
+    preempt.clear_preempt()
+    preempt.request_preempt()
+    try:
+        with pytest.raises(preempt.PreemptedError):
+            spec.execute()
+        notes = {}
+        result = spec.execute(notes=notes)
+    finally:
+        preempt.clear_preempt()
+    assert notes.get("resumed", 0) > 0, "restore did not happen"
+    assert _canonical(result.to_dict()) == _canonical(stored["result"]), (
+        f"checkpoint/restore perturbed the simulation for {path.name} "
+        f"under engine={engine}")
+
+
 def test_fixture_coverage():
     """The suite must keep covering the key configuration axes."""
     assert len(FIXTURES) >= 6

@@ -110,6 +110,66 @@ def test_prune_stale_keeps_quarantine(tmp_path, spec):
     assert other.quarantine_dir.parent.is_dir() # quarantine/ survives
 
 
+# ----------------------------------------------------------------------
+# Manifest fsck: the sweep/campaign ledgers corrupt the same way
+# ----------------------------------------------------------------------
+def make_manifest(path, spec):
+    from repro.harness.supervise import SweepManifest
+    manifest = SweepManifest(path)
+    manifest.register(spec)
+    manifest.save()
+    return path
+
+
+def test_fsck_manifests_passes_healthy_ledgers(tmp_path, spec):
+    from repro.harness.supervise import fsck_manifests
+    good = make_manifest(tmp_path / "good.manifest.json", spec)
+    report = fsck_manifests([good, tmp_path / "missing.manifest.json"])
+    assert report.scanned == 1 and report.ok == 1     # missing = skipped
+    assert not report.quarantined and not report.errors
+
+
+def test_fsck_manifests_quarantines_truncated_json(tmp_path, spec):
+    from repro.harness.supervise import fsck_manifests
+    bad = make_manifest(tmp_path / "bad.manifest.json", spec)
+    text = bad.read_text()
+    bad.write_text(text[:len(text) // 2])
+    report = fsck_manifests([bad])
+    assert report.scanned == 1 and report.ok == 0
+    assert len(report.quarantined) == 1 and report.errors
+    assert not bad.exists()
+    assert (tmp_path / "quarantine" / bad.name).is_file()
+    # idempotent: the namespace is clean on the second pass
+    assert fsck_manifests([bad]).scanned == 0
+
+
+def test_fsck_manifests_quarantines_semantic_damage(tmp_path, spec):
+    from repro.harness.supervise import fsck_manifests
+    future = tmp_path / "future.manifest.json"
+    future.write_text(json.dumps({"version": 99, "points": {}}))
+    mismatch = make_manifest(tmp_path / "mismatch.manifest.json", spec)
+    data = json.loads(mismatch.read_text())
+    data["points"] = {"0" * 64: data["points"][spec.key()]}
+    mismatch.write_text(json.dumps(data))
+    status = make_manifest(tmp_path / "status.manifest.json", spec)
+    data = json.loads(status.read_text())
+    data["points"][spec.key()]["status"] = "exploded"
+    status.write_text(json.dumps(data))
+    report = fsck_manifests([future, mismatch, status])
+    assert report.scanned == 3 and report.ok == 0
+    assert len(report.quarantined) == 3
+    assert any("version" in e for e in report.errors)
+    assert any("does not match" in e for e in report.errors)
+    assert any("unknown status" in e for e in report.errors)
+    # collisions in quarantine/ get numbered suffixes
+    again = make_manifest(tmp_path / "future.manifest.json", spec)
+    again.write_text("{torn")
+    fsck_manifests([again])
+    qnames = sorted(p.name for p in (tmp_path / "quarantine").iterdir())
+    assert "future.manifest.json" in qnames
+    assert "future.manifest.json.1" in qnames
+
+
 def test_chaos_corrupt_hook_on_put(tmp_path, spec, monkeypatch):
     monkeypatch.setenv("REPRO_CHAOS", "corrupt:1:1/1")
     store = ResultStore(tmp_path / "store")
